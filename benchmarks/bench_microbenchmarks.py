@@ -1,0 +1,53 @@
+"""Microbenchmarks: partitioner and kernel throughput.
+
+Unlike the artifact benches (rounds=1 regeneration of tables/figures),
+these use pytest-benchmark's statistical timing — they are the numbers
+to watch when optimising the library itself.
+"""
+
+import pytest
+
+from repro.circuit.iscas89 import load_benchmark
+from repro.harness.config import ALGORITHMS
+from repro.partition.registry import get_partitioner
+from repro.sim.kernel import SequentialSimulator
+from repro.sim.stimulus import RandomStimulus
+from repro.warped.kernel import TimeWarpSimulator
+from repro.warped.machine import VirtualMachine
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return load_benchmark("s9234", scale=0.1)
+
+
+@pytest.fixture(scope="module")
+def stimulus(circuit):
+    return RandomStimulus(circuit, num_cycles=20, period=100, seed=7)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_partitioner_runtime(benchmark, circuit, algorithm):
+    """Wall-clock of one 8-way partition (the paper stresses the
+    multilevel heuristic is a fast linear-time method)."""
+    partitioner = get_partitioner(algorithm, seed=3)
+    result = benchmark(partitioner.partition, circuit, 8)
+    assert result.k == 8
+
+
+def test_sequential_kernel_throughput(benchmark, circuit, stimulus):
+    """Events/second of the sequential simulator."""
+    result = benchmark(lambda: SequentialSimulator(circuit, stimulus).run())
+    assert result.events_processed > 0
+
+
+def test_timewarp_kernel_throughput(benchmark, circuit, stimulus):
+    """Events/second of the Time Warp executive (4 nodes)."""
+    assignment = get_partitioner("Multilevel", seed=3).partition(circuit, 4)
+    machine = VirtualMachine(num_nodes=4, optimism_window=100)
+
+    def run():
+        return TimeWarpSimulator(circuit, assignment, stimulus, machine).run()
+
+    result = benchmark(run)
+    assert result.events_processed > 0

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Activity-aware coarsening — implementing the paper's future work.
+
+Section 6 of the paper: "we are currently investigating the use of
+activity levels of communication to make better decisions while
+coarsening". This example measures per-signal activity with a short
+profiling run, feeds it into the multilevel phases as edge weights,
+and shows the payoff: the activity-weighted partition cuts *more*
+signals but *colder* ones, so the simulation exchanges fewer actual
+messages and rolls back less.
+
+Run:  python examples/activity_partitioning.py
+"""
+
+from repro.circuit import load_benchmark
+from repro.partition import MultilevelPartitioner
+from repro.partition.extra_activity import ActivityMultilevelPartitioner
+from repro.sim import RandomStimulus, SequentialSimulator
+from repro.sim.activity import profile_activity
+from repro.utils.tables import format_table
+from repro.warped import TimeWarpSimulator, VirtualMachine
+
+
+def main() -> None:
+    circuit = load_benchmark("s9234", scale=0.12)
+    stimulus = RandomStimulus(circuit, num_cycles=60, period=100, seed=7)
+    seq = SequentialSimulator(circuit, stimulus).run()
+
+    # Profile 16 cycles of the production workload.
+    profile = profile_activity(circuit, num_cycles=16, seed=7)
+    hottest = max(range(circuit.num_gates), key=profile.changes.__getitem__)
+    print(f"profiled {profile.total_changes} signal changes over "
+          f"{profile.num_cycles} cycles; hottest signal "
+          f"{circuit.gates[hottest].name!r} toggled "
+          f"{profile.changes[hottest]} times\n")
+
+    rows = []
+    for label, partitioner in (
+        ("Multilevel (paper)", MultilevelPartitioner(seed=3)),
+        ("ActivityML (paper §6)",
+         ActivityMultilevelPartitioner(seed=3, profile=profile)),
+    ):
+        assignment = partitioner.partition(circuit, 8)
+        machine = VirtualMachine(num_nodes=8, optimism_window=100)
+        result = TimeWarpSimulator(
+            circuit, assignment, stimulus, machine
+        ).run()
+        assert result.final_values == seq.final_values
+        cut = sum(
+            1 for u, v in circuit.edges()
+            if assignment[u] != assignment[v]
+        )
+        hot_cut = sum(
+            profile.changes[u] for u, v in circuit.edges()
+            if assignment[u] != assignment[v]
+        )
+        rows.append(
+            (
+                label,
+                cut,
+                hot_cut,
+                result.app_messages,
+                result.rollbacks,
+                f"{result.execution_time:.2f}",
+            )
+        )
+    print(
+        format_table(
+            ["partitioner", "signals cut", "activity cut (profiled)",
+             "messages", "rollbacks", "time (s)"],
+            rows,
+            title="Raw cut vs activity-weighted cut, s9234 x 8 nodes",
+        )
+    )
+    print("\nThe weighted variant accepts a larger raw cut in exchange "
+          "for cutting\ncold signals — fewer real messages cross the "
+          "network.")
+
+
+if __name__ == "__main__":
+    main()

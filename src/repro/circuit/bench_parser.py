@@ -1,0 +1,144 @@
+"""ISCAS'89 ``.bench`` netlist reader and writer.
+
+The format the CAD Benchmarking Lab distributes (paper reference [4]):
+
+.. code-block:: text
+
+    # s27 fragment
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = NAND(G14, G11)
+    G13 = DFF(G10)
+
+Names may be referenced before they are defined; OUTPUT lines may appear
+before the driving gate. The writer round-trips anything the reader
+accepts (module-level property test covers this).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from collections.abc import Iterable
+
+from repro.circuit.gate import GateType
+from repro.circuit.graph import CircuitGraph
+from repro.errors import BenchParseError
+
+_DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^()\s,]+)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(
+    r"^([^()\s=]+)\s*=\s*([A-Za-z]+)\s*\(\s*([^()]*?)\s*\)$"
+)
+
+#: .bench operator name -> GateType. BUFF is the spelling ISCAS files use.
+_TYPE_BY_NAME = {
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    "DFF": GateType.DFF,
+}
+
+_NAME_BY_TYPE = {
+    GateType.AND: "AND",
+    GateType.NAND: "NAND",
+    GateType.OR: "OR",
+    GateType.NOR: "NOR",
+    GateType.XOR: "XOR",
+    GateType.XNOR: "XNOR",
+    GateType.NOT: "NOT",
+    GateType.BUF: "BUFF",
+    GateType.DFF: "DFF",
+}
+
+
+def parse_bench(text: str, name: str = "bench") -> CircuitGraph:
+    """Parse ``.bench`` source *text* into a frozen :class:`CircuitGraph`."""
+    inputs: list[str] = []
+    outputs: list[str] = []
+    gate_defs: list[tuple[str, GateType, list[str], int]] = []
+    seen: set[str] = set()
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        decl = _DECL_RE.match(line)
+        if decl:
+            kind, signal = decl.group(1).upper(), decl.group(2)
+            if kind == "INPUT":
+                if signal in seen:
+                    raise BenchParseError(
+                        f"duplicate definition of {signal!r}", line_no
+                    )
+                seen.add(signal)
+                inputs.append(signal)
+            else:
+                outputs.append(signal)
+            continue
+        gate = _GATE_RE.match(line)
+        if gate:
+            out_name, op_name, arg_text = gate.groups()
+            op = _TYPE_BY_NAME.get(op_name.upper())
+            if op is None:
+                raise BenchParseError(f"unknown gate type {op_name!r}", line_no)
+            if out_name in seen:
+                raise BenchParseError(
+                    f"duplicate definition of {out_name!r}", line_no
+                )
+            seen.add(out_name)
+            args = [a.strip() for a in arg_text.split(",") if a.strip()]
+            if not args:
+                raise BenchParseError(f"gate {out_name!r} has no inputs", line_no)
+            gate_defs.append((out_name, op, args, line_no))
+            continue
+        raise BenchParseError(f"unrecognised syntax: {line!r}", line_no)
+
+    circuit = CircuitGraph(name)
+    for signal in inputs:
+        circuit.add_gate(signal, GateType.INPUT)
+    for out_name, op, _, _ in gate_defs:
+        circuit.add_gate(out_name, op)
+    for out_name, _, args, line_no in gate_defs:
+        sink = circuit.index_of(out_name)
+        for arg in args:
+            if arg not in circuit:
+                raise BenchParseError(
+                    f"gate {out_name!r} references undefined signal {arg!r}",
+                    line_no,
+                )
+            circuit.connect(circuit.index_of(arg), sink)
+    for signal in outputs:
+        if signal not in circuit:
+            raise BenchParseError(f"OUTPUT({signal}) is never defined")
+        circuit.mark_output(circuit.index_of(signal))
+    return circuit.freeze()
+
+
+def parse_bench_file(path: str | Path) -> CircuitGraph:
+    """Parse the ``.bench`` file at *path*; circuit name is the stem."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(circuit: CircuitGraph, header: Iterable[str] = ()) -> str:
+    """Serialise *circuit* back to ``.bench`` text."""
+    if not circuit.frozen:
+        raise BenchParseError("freeze() the circuit before writing")
+    lines = [f"# {comment}" for comment in header]
+    lines.append(f"# circuit {circuit.name}: {circuit.num_gates} gates")
+    for idx in circuit.primary_inputs:
+        lines.append(f"INPUT({circuit.gates[idx].name})")
+    for idx in circuit.primary_outputs:
+        lines.append(f"OUTPUT({circuit.gates[idx].name})")
+    for gate in circuit.gates:
+        if gate.gate_type is GateType.INPUT:
+            continue
+        args = ", ".join(circuit.gates[d].name for d in gate.fanin)
+        lines.append(f"{gate.name} = {_NAME_BY_TYPE[gate.gate_type]}({args})")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,173 @@
+"""Gate types and three-valued logic evaluation.
+
+Signals carry one of three values: ``FALSE`` (0), ``TRUE`` (1) or
+``UNKNOWN`` (X, encoded 2). X models uninitialised state; evaluation
+follows the usual ternary Kleene semantics (e.g. ``AND(0, X) = 0`` but
+``AND(1, X) = X``), matching VHDL std_logic resolution for the 0/1/X
+subset the simulator needs.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from collections.abc import Sequence
+
+FALSE = 0
+TRUE = 1
+UNKNOWN = 2
+
+#: All legal signal values.
+LOGIC_VALUES = (FALSE, TRUE, UNKNOWN)
+
+
+class GateType(Enum):
+    """Kinds of vertices in the circuit graph.
+
+    ``INPUT`` vertices are the primary inputs the coarsening phase grows
+    from; ``DFF`` vertices are edge-triggered flip-flops, the only
+    sequential element ISCAS'89 circuits use.
+    """
+
+    INPUT = "INPUT"
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUF = "BUF"
+    DFF = "DFF"
+
+    @property
+    def is_sequential(self) -> bool:
+        """True for state-holding elements (flip-flops)."""
+        return self is GateType.DFF
+
+    @property
+    def is_source(self) -> bool:
+        """True for vertices with no circuit-graph fanin."""
+        return self is GateType.INPUT
+
+    @property
+    def min_fanin(self) -> int:
+        """Smallest legal number of inputs for this gate type."""
+        return _MIN_FANIN[self]
+
+    @property
+    def max_fanin(self) -> int | None:
+        """Largest legal number of inputs, or ``None`` if unbounded."""
+        return _MAX_FANIN[self]
+
+
+_MIN_FANIN = {
+    GateType.INPUT: 0,
+    GateType.AND: 2,
+    GateType.NAND: 2,
+    GateType.OR: 2,
+    GateType.NOR: 2,
+    GateType.XOR: 2,
+    GateType.XNOR: 2,
+    GateType.NOT: 1,
+    GateType.BUF: 1,
+    GateType.DFF: 1,
+}
+
+_MAX_FANIN: dict[GateType, int | None] = {
+    GateType.INPUT: 0,
+    GateType.AND: None,
+    GateType.NAND: None,
+    GateType.OR: None,
+    GateType.NOR: None,
+    GateType.XOR: None,
+    GateType.XNOR: None,
+    GateType.NOT: 1,
+    GateType.BUF: 1,
+    GateType.DFF: 1,
+}
+
+
+def logic_not(value: int) -> int:
+    """Ternary NOT."""
+    if value == UNKNOWN:
+        return UNKNOWN
+    return TRUE - value
+
+
+def _and_all(values: Sequence[int]) -> int:
+    saw_x = False
+    for v in values:
+        if v == FALSE:
+            return FALSE
+        if v == UNKNOWN:
+            saw_x = True
+    return UNKNOWN if saw_x else TRUE
+
+
+def _or_all(values: Sequence[int]) -> int:
+    saw_x = False
+    for v in values:
+        if v == TRUE:
+            return TRUE
+        if v == UNKNOWN:
+            saw_x = True
+    return UNKNOWN if saw_x else FALSE
+
+
+def _xor_all(values: Sequence[int]) -> int:
+    acc = FALSE
+    for v in values:
+        if v == UNKNOWN:
+            return UNKNOWN
+        acc ^= v
+    return acc
+
+
+def evaluate_gate(gate_type: GateType, inputs: Sequence[int]) -> int:
+    """Evaluate a combinational gate over ternary *inputs*.
+
+    ``DFF`` is handled here as a transparent BUF of its data input — the
+    *clocked* behaviour (capture on clock edge) is owned by the
+    simulators, which call this only at capture time. ``INPUT`` vertices
+    have no inputs and cannot be evaluated.
+    """
+    if gate_type is GateType.INPUT:
+        raise ValueError("primary inputs are driven by stimulus, not evaluated")
+    n = len(inputs)
+    lo = gate_type.min_fanin
+    hi = gate_type.max_fanin
+    if n < lo or (hi is not None and n > hi):
+        arity = str(lo) if hi == lo else f"{lo}..{hi if hi is not None else 'inf'}"
+        raise ValueError(f"{gate_type.value} gate takes {arity} inputs, got {n}")
+    if gate_type is GateType.AND:
+        return _and_all(inputs)
+    if gate_type is GateType.NAND:
+        return logic_not(_and_all(inputs))
+    if gate_type is GateType.OR:
+        return _or_all(inputs)
+    if gate_type is GateType.NOR:
+        return logic_not(_or_all(inputs))
+    if gate_type is GateType.XOR:
+        return _xor_all(inputs)
+    if gate_type is GateType.XNOR:
+        return logic_not(_xor_all(inputs))
+    if gate_type is GateType.NOT:
+        return logic_not(inputs[0])
+    # BUF and (transparent) DFF
+    return inputs[0]
+
+
+#: Controlling value per gate type: an input at this value fixes the output
+#: regardless of the other inputs. Used by activity estimation.
+CONTROLLING_VALUE: dict[GateType, int | None] = {
+    GateType.AND: FALSE,
+    GateType.NAND: FALSE,
+    GateType.OR: TRUE,
+    GateType.NOR: TRUE,
+    GateType.XOR: None,
+    GateType.XNOR: None,
+    GateType.NOT: None,
+    GateType.BUF: None,
+    GateType.DFF: None,
+    GateType.INPUT: None,
+}

@@ -1,0 +1,169 @@
+"""Parametric structural circuit generators with known functions.
+
+Unlike :mod:`repro.circuit.generate` (statistically realistic but
+functionally arbitrary), these build circuits whose input/output
+behaviour is known in closed form — ripple-carry adders, counters,
+LFSRs, shift registers — so tests can check the simulators compute the
+*right answer*, and examples have meaningful workloads.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.gate import GateType
+from repro.circuit.graph import CircuitGraph
+from repro.errors import ConfigError
+
+
+def ripple_carry_adder(width: int, *, name: str | None = None) -> CircuitGraph:
+    """A *width*-bit ripple-carry adder.
+
+    Inputs ``a0..a{w-1}``, ``b0..b{w-1}``, ``cin``; outputs
+    ``s0..s{w-1}`` and ``cout``. Classic two-XOR/two-AND/one-OR full
+    adders chained through the carry.
+    """
+    if width < 1:
+        raise ConfigError("width must be >= 1")
+    c = CircuitGraph(name or f"rca{width}")
+    a = [c.add_gate(f"a{i}", GateType.INPUT) for i in range(width)]
+    b = [c.add_gate(f"b{i}", GateType.INPUT) for i in range(width)]
+    carry = c.add_gate("cin", GateType.INPUT)
+    for i in range(width):
+        axb = c.add_gate(f"axb{i}", GateType.XOR)
+        c.connect(a[i], axb)
+        c.connect(b[i], axb)
+        s = c.add_gate(f"s{i}", GateType.XOR)
+        c.connect(axb, s)
+        c.connect(carry, s)
+        c.mark_output(s)
+        g1 = c.add_gate(f"cg{i}", GateType.AND)  # generate
+        c.connect(a[i], g1)
+        c.connect(b[i], g1)
+        g2 = c.add_gate(f"cp{i}", GateType.AND)  # propagate
+        c.connect(axb, g2)
+        c.connect(carry, g2)
+        cout = c.add_gate(f"c{i + 1}", GateType.OR)
+        c.connect(g1, cout)
+        c.connect(g2, cout)
+        carry = cout
+    c.mark_output(carry)
+    return c.freeze()
+
+
+def binary_counter(width: int, *, name: str | None = None) -> CircuitGraph:
+    """A free-running *width*-bit binary up-counter.
+
+    One DFF per bit; bit i toggles when all lower bits are 1 (``en``
+    input gates the increment). Outputs ``q0..q{w-1}``.
+    """
+    if width < 1:
+        raise ConfigError("width must be >= 1")
+    c = CircuitGraph(name or f"counter{width}")
+    enable = c.add_gate("en", GateType.INPUT)
+    ffs = [c.add_gate(f"q{i}", GateType.DFF) for i in range(width)]
+    carry = enable
+    for i in range(width):
+        toggle = c.add_gate(f"t{i}", GateType.XOR)
+        c.connect(ffs[i], toggle)
+        c.connect(carry, toggle)
+        c.connect(toggle, ffs[i])
+        c.mark_output(ffs[i])
+        if i + 1 < width:
+            next_carry = c.add_gate(f"ca{i}", GateType.AND)
+            c.connect(carry, next_carry)
+            c.connect(ffs[i], next_carry)
+            carry = next_carry
+    return c.freeze()
+
+
+#: Primitive polynomial taps (1-indexed bit positions XORed into the
+#: feedback) for maximal-length Fibonacci LFSRs.
+_LFSR_TAPS = {
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+}
+
+
+def lfsr(width: int, *, name: str | None = None) -> CircuitGraph:
+    """A maximal-length Fibonacci LFSR of *width* bits.
+
+    The register shifts every clock; feedback is the XNOR of the tap
+    bits (XNOR so the all-zero reset state is NOT the lock-up state —
+    flip-flops power up to 0 in this library). ``en`` is an unused
+    enable kept so the circuit has a primary input.
+    """
+    taps = _LFSR_TAPS.get(width)
+    if taps is None:
+        raise ConfigError(
+            f"no primitive polynomial on file for width {width}; "
+            f"available: {sorted(_LFSR_TAPS)}"
+        )
+    c = CircuitGraph(name or f"lfsr{width}")
+    c.add_gate("en", GateType.INPUT)
+    ffs = [c.add_gate(f"r{i}", GateType.DFF) for i in range(width)]
+    # XNOR-fold the taps.
+    feedback = None
+    for tap in taps:
+        bit = ffs[tap - 1]
+        if feedback is None:
+            feedback = bit
+            continue
+        gate = c.add_gate(f"fb{tap}", GateType.XNOR)
+        c.connect(feedback, gate)
+        c.connect(bit, gate)
+        feedback = gate
+    c.connect(feedback, ffs[0])
+    for i in range(1, width):
+        c.connect(ffs[i - 1], ffs[i])
+    for ff in ffs:
+        c.mark_output(ff)
+    return c.freeze()
+
+
+def shift_register(
+    width: int, *, name: str | None = None
+) -> CircuitGraph:
+    """A *width*-stage serial-in shift register (input ``din``)."""
+    if width < 1:
+        raise ConfigError("width must be >= 1")
+    c = CircuitGraph(name or f"shift{width}")
+    din = c.add_gate("din", GateType.INPUT)
+    previous = din
+    for i in range(width):
+        ff = c.add_gate(f"q{i}", GateType.DFF)
+        c.connect(previous, ff)
+        c.mark_output(ff)
+        previous = ff
+    return c.freeze()
+
+
+def decoder(bits: int, *, name: str | None = None) -> CircuitGraph:
+    """A *bits*-to-2^bits one-hot decoder (combinational).
+
+    Heavy reconvergent fanout from few inputs — a stress shape for
+    partitioners (every output depends on every input).
+    """
+    if not 1 <= bits <= 8:
+        raise ConfigError("bits must be in 1..8")
+    c = CircuitGraph(name or f"dec{bits}")
+    inputs = [c.add_gate(f"x{i}", GateType.INPUT) for i in range(bits)]
+    inverted = []
+    for i, gate in enumerate(inputs):
+        inv = c.add_gate(f"nx{i}", GateType.NOT)
+        c.connect(gate, inv)
+        inverted.append(inv)
+    for value in range(2**bits):
+        if bits == 1:
+            out = c.add_gate(f"y{value}", GateType.BUF)
+            c.connect(inputs[0] if value else inverted[0], out)
+        else:
+            out = c.add_gate(f"y{value}", GateType.AND)
+            for bit in range(bits):
+                src = inputs[bit] if (value >> bit) & 1 else inverted[bit]
+                c.connect(src, out)
+        c.mark_output(out)
+    return c.freeze()

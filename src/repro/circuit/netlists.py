@@ -1,0 +1,41 @@
+"""Real netlists small enough to embed.
+
+The ISCAS'89 s27 benchmark is tiny (10 logic gates, 3 flip-flops) and
+its netlist is reproduced in most of the partitioning literature; it is
+embedded here verbatim so the library always has at least one *real*
+circuit to validate the synthetic generator and the simulators against.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.bench_parser import parse_bench
+from repro.circuit.graph import CircuitGraph
+
+#: The ISCAS'89 s27 benchmark, verbatim (.bench format).
+S27_BENCH = """\
+# s27 (ISCAS'89 sequential benchmark)
+# 4 inputs, 1 output, 3 D-type flip-flops, 10 logic gates
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+"""
+
+
+def load_s27() -> CircuitGraph:
+    """The real s27 netlist as a frozen :class:`CircuitGraph`."""
+    return parse_bench(S27_BENCH, name="s27")

@@ -1,0 +1,59 @@
+"""Structural statistics of a circuit graph.
+
+Used by Table 1 of the paper (benchmark characteristics) and by the
+synthetic generator's self-checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.gate import GateType
+from repro.circuit.graph import CircuitGraph
+from repro.circuit.levelize import levelize
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Summary numbers for one circuit (Table 1 columns and more)."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_gates: int
+    num_dffs: int
+    num_edges: int
+    max_level: int
+    mean_fanout: float
+    max_fanout: int
+    mean_fanin: float
+
+    def table1_row(self) -> tuple[str, int, int, int]:
+        """The (Circuit, Inputs, Gates, Outputs) row of the paper's Table 1.
+
+        The paper's "Gates" column counts logic elements excluding the
+        primary inputs/outputs pads, i.e. every non-INPUT vertex.
+        """
+        return (self.name, self.num_inputs, self.num_gates, self.num_outputs)
+
+
+def circuit_stats(circuit: CircuitGraph) -> CircuitStats:
+    """Compute :class:`CircuitStats` for a frozen circuit."""
+    fanouts = np.array([len(g.fanout) for g in circuit.gates], dtype=np.int64)
+    logic = [g for g in circuit.gates if g.gate_type is not GateType.INPUT]
+    fanins = np.array([len(g.fanin) for g in logic], dtype=np.int64)
+    level = levelize(circuit)
+    return CircuitStats(
+        name=circuit.name,
+        num_inputs=len(circuit.primary_inputs),
+        num_outputs=len(circuit.primary_outputs),
+        num_gates=len(logic),
+        num_dffs=len(circuit.dffs),
+        num_edges=circuit.num_edges,
+        max_level=max(level) if level else 0,
+        mean_fanout=float(fanouts.mean()) if len(fanouts) else 0.0,
+        max_fanout=int(fanouts.max()) if len(fanouts) else 0,
+        mean_fanin=float(fanins.mean()) if len(fanins) else 0.0,
+    )

@@ -1,0 +1,176 @@
+"""Netlist transformation passes.
+
+Standard structural clean-up passes over :class:`CircuitGraph`:
+
+- :func:`sweep_buffers` — splice out BUF gates (and chains of them);
+- :func:`merge_duplicates` — structural hashing: gates with the same
+  type and the same ordered fanin are one gate;
+- :func:`eliminate_dead_logic` — remove gates that reach no primary
+  output (directly or through flip-flops).
+
+Transforms return a NEW circuit (inputs are never mutated) plus a name
+map for correlating results, and each is verified against the original
+by random-vector equivalence in the test suite
+(:mod:`repro.sim.equivalence`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.circuit.gate import GateType
+from repro.circuit.graph import CircuitGraph
+from repro.errors import CircuitError
+
+
+def _rebuild(
+    circuit: CircuitGraph,
+    keep: list[bool],
+    redirect: dict[int, int],
+    name: str,
+) -> CircuitGraph:
+    """Build a new circuit with dropped gates spliced through *redirect*.
+
+    ``redirect[g]`` names the gate whose output replaces g's output.
+    Chains of redirects are followed to a kept gate.
+    """
+
+    def resolve(g: int) -> int:
+        seen = set()
+        while g in redirect:
+            if g in seen:
+                raise CircuitError("redirect cycle in transform")
+            seen.add(g)
+            g = redirect[g]
+        return g
+
+    out = CircuitGraph(name)
+    index_map: dict[int, int] = {}
+    for gate in circuit.gates:
+        if keep[gate.index]:
+            index_map[gate.index] = out.add_gate(
+                gate.name, gate.gate_type, delay=gate.delay
+            )
+    for gate in circuit.gates:
+        if not keep[gate.index]:
+            continue
+        sink = index_map[gate.index]
+        for driver in gate.fanin:
+            resolved = resolve(driver)
+            if not keep[resolved]:
+                raise CircuitError(
+                    f"transform dropped {circuit.gates[resolved].name!r} "
+                    "while it still drives kept logic"
+                )
+            out.connect(index_map[resolved], sink)
+    for po in circuit.primary_outputs:
+        resolved = resolve(po)
+        if not keep[resolved]:
+            raise CircuitError("transform dropped a primary output cone")
+        out.mark_output(index_map[resolved])
+    return out.freeze()
+
+
+def sweep_buffers(circuit: CircuitGraph, *, name: str | None = None) -> CircuitGraph:
+    """Splice out every BUF whose removal is observationally safe.
+
+    A BUF that is a primary output is kept (its name IS the output);
+    everything else forwards its driver. NOTE: buffer delays vanish with
+    the buffer — final quiescent values are preserved, waveform timing
+    is not (the classic zero-delay-sweep caveat).
+    """
+    keep = [True] * circuit.num_gates
+    redirect: dict[int, int] = {}
+    for gate in circuit.gates:
+        if gate.gate_type is GateType.BUF and not gate.is_output:
+            keep[gate.index] = False
+            redirect[gate.index] = gate.fanin[0]
+    return _rebuild(circuit, keep, redirect, name or f"{circuit.name}.nobuf")
+
+
+def merge_duplicates(
+    circuit: CircuitGraph, *, name: str | None = None
+) -> CircuitGraph:
+    """Structural hashing: equal (type, ordered fanin) gates merge.
+
+    Iterates to a fixpoint (merging two gates can make their sinks
+    identical). Symmetric gate types hash order-insensitively. DFFs
+    merge too (same data input => same state trajectory, since all
+    flip-flops share the implicit clock and reset).
+    """
+    symmetric = {
+        GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+        GateType.XOR, GateType.XNOR,
+    }
+    n = circuit.num_gates
+    alias = list(range(n))
+
+    def resolve(g: int) -> int:
+        while alias[g] != g:
+            alias[g] = alias[alias[g]]
+            g = alias[g]
+        return g
+
+    changed = True
+    while changed:
+        changed = False
+        table: dict[tuple, int] = {}
+        for gate in circuit.gates:
+            if resolve(gate.index) != gate.index:
+                continue
+            if gate.gate_type is GateType.INPUT:
+                continue
+            fanin = [resolve(d) for d in gate.fanin]
+            if gate.gate_type in symmetric:
+                fanin = sorted(fanin)
+            key = (gate.gate_type, tuple(fanin), gate.delay)
+            owner = table.get(key)
+            if owner is None:
+                table[key] = gate.index
+            elif owner != gate.index:
+                # keep the output-marked one if either is a PO
+                if gate.is_output and not circuit.gates[owner].is_output:
+                    alias[owner] = gate.index
+                    table[key] = gate.index
+                else:
+                    alias[gate.index] = owner
+                changed = True
+
+    keep = [resolve(g) == g for g in range(n)]
+    redirect = {g: resolve(g) for g in range(n) if resolve(g) != g}
+    return _rebuild(circuit, keep, redirect, name or f"{circuit.name}.hashed")
+
+
+def eliminate_dead_logic(
+    circuit: CircuitGraph, *, name: str | None = None
+) -> CircuitGraph:
+    """Drop every gate with no path to a primary output.
+
+    Reachability runs backwards from the outputs through all edges
+    (including through flip-flops: state feeding an output matters).
+    Primary inputs are always kept — they are the circuit's interface.
+    """
+    live = [False] * circuit.num_gates
+    queue = deque(circuit.primary_outputs)
+    while queue:
+        g = queue.popleft()
+        if live[g]:
+            continue
+        live[g] = True
+        queue.extend(d for d in circuit.gates[g].fanin if not live[d])
+    for pi in circuit.primary_inputs:
+        live[pi] = True
+    return _rebuild(circuit, live, {}, name or f"{circuit.name}.live")
+
+
+def optimize(circuit: CircuitGraph, *, name: str | None = None) -> CircuitGraph:
+    """The standard pipeline: sweep -> hash -> dead-logic, to fixpoint."""
+    result = circuit
+    target = name or f"{circuit.name}.opt"
+    while True:
+        before = result.num_gates
+        result = sweep_buffers(result, name=target)
+        result = merge_duplicates(result, name=target)
+        result = eliminate_dead_logic(result, name=target)
+        if result.num_gates == before:
+            return result

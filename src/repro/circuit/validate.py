@@ -1,0 +1,59 @@
+"""Structural validation of circuit graphs.
+
+Run after parsing or generation: raises :class:`CircuitError` with a
+precise message for ill-formed netlists, so downstream partitioners and
+simulators can assume a clean graph.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.gate import GateType
+from repro.circuit.graph import CircuitGraph
+from repro.circuit.levelize import levelize
+from repro.errors import CircuitError
+
+
+def validate_circuit(circuit: CircuitGraph, *, allow_dead_logic: bool = False) -> None:
+    """Check structural invariants of a frozen *circuit*.
+
+    - every gate's fanin arity is legal for its type (re-checked),
+    - fanin/fanout adjacency is mutually consistent,
+    - the combinational view is acyclic (every loop has a DFF),
+    - there is at least one primary input and one primary output,
+    - unless ``allow_dead_logic``: every non-output gate drives something.
+    """
+    if not circuit.frozen:
+        raise CircuitError("validate_circuit requires a frozen circuit")
+    if not circuit.primary_inputs:
+        raise CircuitError("circuit has no primary inputs")
+    if not circuit.primary_outputs:
+        raise CircuitError("circuit has no primary outputs")
+
+    # Adjacency consistency: u lists v as fanout iff v lists u as fanin,
+    # with matching multiplicity (parallel edges are legal).
+    for gate in circuit.gates:
+        lo = gate.gate_type.min_fanin
+        hi = gate.gate_type.max_fanin
+        if len(gate.fanin) < lo or (hi is not None and len(gate.fanin) > hi):
+            raise CircuitError(
+                f"gate {gate.name!r}: illegal fanin arity {len(gate.fanin)}"
+            )
+        for sink in gate.fanout:
+            if gate.fanout.count(sink) != circuit.gates[sink].fanin.count(
+                gate.index
+            ):
+                raise CircuitError(
+                    f"adjacency mismatch on edge {gate.name!r} -> "
+                    f"{circuit.gates[sink].name!r}"
+                )
+
+    levelize(circuit)  # raises on combinational cycles
+
+    if not allow_dead_logic:
+        for gate in circuit.gates:
+            if gate.gate_type is GateType.INPUT:
+                continue
+            if not gate.fanout and not gate.is_output:
+                raise CircuitError(
+                    f"gate {gate.name!r} is dead logic (no fanout, not an output)"
+                )

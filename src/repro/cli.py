@@ -1,0 +1,161 @@
+"""Command-line interface: ``repro-sim`` / ``python -m repro``.
+
+Subcommands::
+
+    repro-sim table1                  # Table 1 at the current scale
+    repro-sim table2                  # Table 2 (all circuits)
+    repro-sim fig4|fig5|fig6          # the s9234 figures
+    repro-sim report [--output f.md]  # all artifacts + claim verdicts
+    repro-sim ablations               # A1-A5
+    repro-sim run --circuit s9234 --algorithm Multilevel --nodes 8
+    repro-sim partition --circuit s9234 --k 8    # static quality only
+
+Scale/cycle environment overrides (REPRO_FULL, REPRO_SCALE,
+REPRO_CYCLES) apply to every subcommand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.config import ALGORITHMS, ExperimentConfig
+from repro.harness.experiment import ExperimentRunner
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=None,
+                        help="circuit scale (default: env or 0.12)")
+    parser.add_argument("--cycles", type=int, default=None,
+                        help="stimulus cycles (default: env or 60)")
+
+
+def _runner(args: argparse.Namespace) -> ExperimentRunner:
+    overrides = {}
+    if getattr(args, "scale", None) is not None:
+        overrides["scale"] = args.scale
+    if getattr(args, "cycles", None) is not None:
+        overrides["num_cycles"] = args.cycles
+    return ExperimentRunner(ExperimentConfig.from_env(**overrides))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse *argv* (default: sys.argv) and run one subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Multilevel partitioning for parallel logic simulation "
+        "(IPPS 2000 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("table1", "table2", "fig4", "fig5", "fig6", "ablations"):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        _add_common(p)
+
+    report_p = sub.add_parser(
+        "report", help="full reproduction report (markdown)"
+    )
+    _add_common(report_p)
+    report_p.add_argument("--output", default=None,
+                          help="write to file instead of stdout")
+
+    run_p = sub.add_parser("run", help="one parallel simulation")
+    _add_common(run_p)
+    run_p.add_argument("--circuit", default="s9234",
+                       choices=["s5378", "s9234", "s15850"])
+    run_p.add_argument("--algorithm", default="Multilevel", choices=ALGORITHMS)
+    run_p.add_argument("--nodes", type=int, default=8)
+    run_p.add_argument("--kernel", default="timewarp",
+                       choices=["timewarp", "conservative"],
+                       help="synchronization protocol")
+
+    part_p = sub.add_parser("partition", help="static partition quality")
+    _add_common(part_p)
+    part_p.add_argument("--circuit", default="s9234",
+                        choices=["s5378", "s9234", "s15850"])
+    part_p.add_argument("--k", type=int, default=8)
+    part_p.add_argument("--all", action="store_true",
+                        help="include the related-work strategies")
+
+    args = parser.parse_args(argv)
+    runner = _runner(args)
+
+    if args.command == "table1":
+        from repro.harness.table1 import generate_table1
+
+        print(generate_table1(runner))
+    elif args.command == "table2":
+        from repro.harness.table2 import generate_table2
+
+        print(generate_table2(runner))
+    elif args.command in ("fig4", "fig5", "fig6"):
+        from repro.harness import figures
+
+        print(getattr(figures, f"generate_{args.command}")(runner))
+    elif args.command == "ablations":
+        from repro.harness import ablations
+
+        print(ablations.ablation_quality(runner))
+        print()
+        print(ablations.ablation_coarsen_threshold(runner))
+        print()
+        print(ablations.ablation_refiner(runner))
+        print()
+        print(ablations.ablation_scaling())
+        print()
+        print(ablations.ablation_window(runner.config))
+    elif args.command == "report":
+        from repro.harness.report import generate_report
+
+        report = generate_report(runner)
+        if args.output:
+            from pathlib import Path
+
+            Path(args.output).write_text(report + "\n")
+            print(f"wrote {args.output}")
+        else:
+            print(report)
+    elif args.command == "run":
+        seq = runner.sequential(args.circuit)
+        if args.kernel == "conservative":
+            from repro.conservative import ConservativeSimulator
+            from repro.warped.machine import VirtualMachine
+
+            result = ConservativeSimulator(
+                runner.circuit(args.circuit),
+                runner.partition(args.circuit, args.algorithm, args.nodes),
+                runner.stimulus(args.circuit),
+                VirtualMachine(
+                    num_nodes=args.nodes,
+                    cost_model=runner.config.tw_costs,
+                ),
+            ).run()
+            assert result.final_values == seq.final_values
+        else:
+            result = runner.run(args.circuit, args.algorithm, args.nodes)
+        print(f"sequential: {seq.execution_time:.2f}s "
+              f"({seq.events_processed} events)")
+        print(result.summary())
+        speedup = seq.execution_time / result.execution_time
+        print(f"speedup over sequential: {speedup:.2f}x")
+    elif args.command == "partition":
+        from repro.partition.metrics import partition_quality
+
+        names = ALGORITHMS
+        if args.all:
+            from repro.partition.registry import all_partitioners
+
+            names = tuple(all_partitioners())
+        for algorithm in names:
+            assignment = runner.partition(args.circuit, algorithm, args.k)
+            q = partition_quality(assignment)
+            print(
+                f"{algorithm:14s} cut={q.edge_cut:6d} "
+                f"frac={q.cut_fraction:.3f} imb={q.load_imbalance:.3f} "
+                f"conc={q.concurrency:.3f}"
+            )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""A conservative (Chandy-Misra-Bryant) parallel kernel.
+
+The counterpoint to :mod:`repro.warped`: instead of speculating and
+rolling back, a node only processes events that are provably safe —
+its next event's timestamp must be below the bound promised by every
+incoming channel — and deadlock is avoided with null messages carrying
+lookahead promises. Kapp et al. [11] (reference 11 of the paper) study
+partitioning for exactly this synchronization style; ablation A8
+reruns the partitioning comparison under it.
+
+The classic result reproduces here: gate-level circuits have tiny
+lookahead (one gate delay), so conservative execution pays a torrent
+of null messages and trails Time Warp badly — the reason the paper's
+framework is optimistic in the first place.
+"""
+
+from repro.conservative.kernel import ConservativeResult, ConservativeSimulator
+
+__all__ = ["ConservativeResult", "ConservativeSimulator"]

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CircuitError(ReproError):
+    """Structural problem in a circuit graph (bad gate, dangling signal...)."""
+
+
+class BenchParseError(CircuitError):
+    """Malformed ISCAS'89 ``.bench`` input."""
+
+    def __init__(self, message: str, line_no: int | None = None) -> None:
+        self.line_no = line_no
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+class VHDLError(ReproError):
+    """Base class for the VHDL analyzer substrate."""
+
+
+class VHDLLexError(VHDLError):
+    """Invalid character sequence in VHDL source."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        self.line = line
+        self.column = column
+        super().__init__(f"{line}:{column}: {message}")
+
+
+class VHDLParseError(VHDLError):
+    """Syntactically invalid VHDL (for the structural subset)."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class ElaborationError(VHDLError):
+    """Design could not be elaborated into a circuit graph."""
+
+
+class PartitionError(ReproError):
+    """A partitioner produced (or was asked for) an invalid partition."""
+
+
+class SimulationError(ReproError):
+    """Event-driven simulation failed (sequential or Time Warp)."""
+
+
+class ConfigError(ReproError):
+    """Invalid experiment or machine configuration."""

@@ -1,0 +1,23 @@
+"""Stuck-at fault simulation.
+
+The classic gate-level testing workload: for each single stuck-at-0/1
+fault on a gate output, simulate the circuit against a vector set and
+ask whether any primary output diverges from the fault-free (golden)
+run. Serial fault simulation over the sequential kernel; the faulty
+machine is expressed through the kernel's forced-value mechanism, so no
+netlist surgery is needed.
+"""
+
+from repro.faults.model import Fault, FaultUniverse, all_single_stuck_at
+from repro.faults.simulate import FaultCoverage, FaultSimulator
+from repro.faults.atpg import AtpgResult, generate_tests
+
+__all__ = [
+    "AtpgResult",
+    "Fault",
+    "FaultCoverage",
+    "FaultSimulator",
+    "FaultUniverse",
+    "all_single_stuck_at",
+    "generate_tests",
+]

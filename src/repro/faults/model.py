@@ -1,0 +1,62 @@
+"""Fault models: single stuck-at faults on gate outputs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterator
+
+from repro.circuit.gate import FALSE, TRUE, GateType
+from repro.circuit.graph import CircuitGraph
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True, order=True)
+class Fault:
+    """One stuck-at fault: *gate*'s output permanently at *value*."""
+
+    gate: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (FALSE, TRUE):
+            raise SimulationError(
+                f"stuck-at value must be 0 or 1, got {self.value}"
+            )
+
+    def describe(self, circuit: CircuitGraph) -> str:
+        """Conventional fault name, e.g. ``"G9/SA0"``."""
+        return f"{circuit.gates[self.gate].name}/SA{self.value}"
+
+
+class FaultUniverse:
+    """A set of candidate faults over one circuit."""
+
+    def __init__(self, circuit: CircuitGraph, faults: list[Fault]) -> None:
+        self.circuit = circuit
+        self.faults = faults
+        for fault in faults:
+            if not 0 <= fault.gate < circuit.num_gates:
+                raise SimulationError(f"fault gate {fault.gate} out of range")
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self) -> Iterator[Fault]:
+        return iter(self.faults)
+
+
+def all_single_stuck_at(
+    circuit: CircuitGraph, *, include_inputs: bool = True
+) -> FaultUniverse:
+    """The full single-stuck-at universe: 2 faults per gate output.
+
+    Faults on gates with no observable path exist in the universe too —
+    they are the *undetectable* ones coverage reports must account for.
+    """
+    faults: list[Fault] = []
+    for gate in circuit.gates:
+        if gate.gate_type is GateType.INPUT and not include_inputs:
+            continue
+        faults.append(Fault(gate.index, FALSE))
+        faults.append(Fault(gate.index, TRUE))
+    return FaultUniverse(circuit, faults)

@@ -1,0 +1,99 @@
+"""Serial stuck-at fault simulation over the sequential kernel.
+
+The golden (fault-free) run records the primary-output values sampled
+at the end of every clock cycle; each faulty machine (one forced gate
+output) is simulated against the same vectors, and the fault counts as
+*detected* the moment any sampled output differs. End-of-cycle sampling
+matches how test equipment strobes outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.gate import UNKNOWN
+from repro.circuit.graph import CircuitGraph
+from repro.errors import SimulationError
+from repro.faults.model import Fault, FaultUniverse
+from repro.sim.kernel import SequentialSimulator
+from repro.sim.stimulus import Stimulus
+from repro.sim.trace import Trace
+
+
+@dataclass
+class FaultCoverage:
+    """Outcome of a fault-simulation campaign."""
+
+    circuit_name: str
+    vectors: int
+    detected: list[Fault] = field(default_factory=list)
+    undetected: list[Fault] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.detected) + len(self.undetected)
+
+    @property
+    def coverage(self) -> float:
+        """Detected / total, in [0, 1]."""
+        return len(self.detected) / self.total if self.total else 1.0
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.circuit_name}: {len(self.detected)}/{self.total} "
+            f"faults detected ({self.coverage:.1%}) over {self.vectors} "
+            "vectors"
+        )
+
+
+class FaultSimulator:
+    """Run a fault universe against one stimulus."""
+
+    def __init__(self, circuit: CircuitGraph, stimulus: Stimulus) -> None:
+        if stimulus.circuit is not circuit:
+            raise SimulationError("stimulus was built for a different circuit")
+        self.circuit = circuit
+        self.stimulus = stimulus
+        self._sample_times = [
+            stimulus.cycle_time(cycle + 1) - 1
+            for cycle in range(stimulus.num_cycles - 1)
+        ] + [stimulus.cycle_time(stimulus.num_cycles - 1) + stimulus.period]
+
+    # ------------------------------------------------------------------
+    def _output_samples(self, forced: dict[int, int] | None) -> list[tuple]:
+        trace = Trace(self.circuit, watch=self.circuit.primary_outputs)
+        SequentialSimulator(
+            self.circuit, self.stimulus, trace=trace, forced=forced
+        ).run()
+        samples = []
+        for time in self._sample_times:
+            samples.append(
+                tuple(
+                    trace.value_at(po, time, default=UNKNOWN)
+                    for po in self.circuit.primary_outputs
+                )
+            )
+        return samples
+
+    def run(self, universe: FaultUniverse) -> FaultCoverage:
+        """Simulate every fault in *universe*; return the coverage."""
+        if universe.circuit is not self.circuit:
+            raise SimulationError("fault universe is for a different circuit")
+        golden = self._output_samples(None)
+        coverage = FaultCoverage(
+            circuit_name=self.circuit.name,
+            vectors=self.stimulus.num_cycles,
+        )
+        for fault in universe:
+            faulty = self._output_samples({fault.gate: fault.value})
+            if faulty != golden:
+                coverage.detected.append(fault)
+            else:
+                coverage.undetected.append(fault)
+        return coverage
+
+    def is_detected(self, fault: Fault) -> bool:
+        """Convenience single-fault query."""
+        golden = self._output_samples(None)
+        return self._output_samples({fault.gate: fault.value}) != golden

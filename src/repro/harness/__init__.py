@@ -1,0 +1,25 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+The :class:`~repro.harness.experiment.ExperimentRunner` caches circuits,
+stimuli, partitions and simulation results, so Table 2 and Figures 4-6
+(which share the s9234 runs) cost one simulation per (circuit,
+algorithm, nodes) triple. All artifacts render as ASCII tables/plots;
+EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.experiment import ExperimentRunner, RunRecord
+from repro.harness.table1 import generate_table1
+from repro.harness.table2 import generate_table2
+from repro.harness.figures import generate_fig4, generate_fig5, generate_fig6
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "RunRecord",
+    "generate_fig4",
+    "generate_fig5",
+    "generate_fig6",
+    "generate_table1",
+    "generate_table2",
+]

@@ -1,0 +1,106 @@
+"""Experiment configuration (and the scaled-by-default policy).
+
+Full-size ISCAS'89 circuits with hundreds of cycles are slow in pure
+Python; by default experiments run faithfully-structured scaled
+circuits (DESIGN.md §5). Environment overrides:
+
+- ``REPRO_FULL=1`` — paper-scale circuits and cycle counts;
+- ``REPRO_SCALE=0.25`` — explicit circuit scale;
+- ``REPRO_CYCLES=200`` — explicit stimulus cycle count.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.warped.machine import TimeWarpCostModel
+from repro.sim.cost_model import SequentialCostModel
+
+#: Circuits of the paper's Table 1, with the node counts Table 2 reports
+#: (s15850 lacks the 2-node row: the paper reports that configuration
+#: exhausted memory).
+TABLE2_NODE_COUNTS: dict[str, tuple[int, ...]] = {
+    "s5378": (2, 4, 6, 8),
+    "s9234": (2, 4, 6, 8),
+    "s15850": (4, 6, 8),
+}
+
+#: Node axis of Figures 4-6 (s9234).
+FIGURE_NODE_COUNTS: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8)
+
+#: Partitioner order used in the paper's Table 2 columns.
+ALGORITHMS: tuple[str, ...] = (
+    "Random",
+    "DFS",
+    "Cluster",
+    "Topological",
+    "Multilevel",
+    "ConePartition",
+)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything one experiment sweep depends on."""
+
+    scale: float = 0.12
+    num_cycles: int = 60
+    period: int = 100
+    activity: float = 0.5
+    circuit_seed: int = 2000
+    stimulus_seed: int = 7
+    partition_seed: int = 3
+    #: Optimism window in clock periods (None = unthrottled Time Warp).
+    window_periods: float | None = 1.0
+    #: Independent repetitions per cell (distinct stimulus seeds), with
+    #: the mean reported — the paper "repeated five times and the
+    #: average was used". 1 keeps the default artifacts fast.
+    repetitions: int = 1
+    gvt_interval: int = 512
+    tw_costs: TimeWarpCostModel = field(default_factory=TimeWarpCostModel)
+    seq_costs: SequentialCostModel = field(default_factory=SequentialCostModel)
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ConfigError("scale must be positive")
+        if self.num_cycles < 2:
+            raise ConfigError("need at least 2 cycles (cycle 0 is reset)")
+        if self.window_periods is not None and self.window_periods <= 0:
+            raise ConfigError("window_periods must be positive or None")
+        if self.repetitions < 1:
+            raise ConfigError("repetitions must be >= 1")
+
+    @property
+    def optimism_window(self) -> int | None:
+        if self.window_periods is None:
+            return None
+        return max(1, round(self.window_periods * self.period))
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ExperimentConfig":
+        """Default config, honouring REPRO_FULL / REPRO_SCALE / REPRO_CYCLES."""
+        if os.environ.get("REPRO_FULL") == "1":
+            overrides.setdefault("scale", 1.0)
+            overrides.setdefault("num_cycles", 400)
+        if "REPRO_SCALE" in os.environ:
+            overrides["scale"] = float(os.environ["REPRO_SCALE"])
+        if "REPRO_CYCLES" in os.environ:
+            overrides["num_cycles"] = int(os.environ["REPRO_CYCLES"])
+        if "REPRO_REPS" in os.environ:
+            overrides["repetitions"] = int(os.environ["REPRO_REPS"])
+        return cls(**overrides)
+
+    def describe(self) -> str:
+        """One-line description recorded next to every artifact."""
+        window = (
+            "unbounded"
+            if self.window_periods is None
+            else f"{self.window_periods} period(s)"
+        )
+        return (
+            f"scale={self.scale:g} cycles={self.num_cycles} "
+            f"period={self.period} activity={self.activity:g} "
+            f"window={window}"
+        )

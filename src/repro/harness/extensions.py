@@ -1,0 +1,46 @@
+"""Extension artifacts beyond the paper's tables and figures.
+
+E1 — speedup and parallel efficiency of the multilevel partition, the
+metric a systems reader derives from Table 2 by hand: speedup(n) =
+T_seq / T_n, efficiency(n) = speedup / n. The paper reports raw times
+only; this view makes the scalability knee explicit.
+"""
+
+from __future__ import annotations
+
+from repro.harness.config import TABLE2_NODE_COUNTS
+from repro.harness.experiment import ExperimentRunner
+from repro.utils.tables import format_table
+
+
+def speedup_rows(
+    runner: ExperimentRunner, algorithm: str = "Multilevel"
+) -> list[tuple[str, int, float, float, float]]:
+    """(circuit, nodes, time, speedup, efficiency) for every Table 2 cell."""
+    rows = []
+    for circuit, node_counts in TABLE2_NODE_COUNTS.items():
+        seq_time = runner.sequential_time(circuit)
+        for nodes in node_counts:
+            time = runner.record(circuit, algorithm, nodes).execution_time
+            speedup = seq_time / time
+            rows.append((circuit, nodes, time, speedup, speedup / nodes))
+    return rows
+
+
+def generate_speedup(
+    runner: ExperimentRunner | None = None, algorithm: str = "Multilevel"
+) -> str:
+    """Render the E1 speedup/efficiency table."""
+    runner = runner or ExperimentRunner()
+    rows = [
+        (circuit, nodes, f"{time:.2f}", f"{speedup:.2f}x", f"{eff:.2f}")
+        for circuit, nodes, time, speedup, eff in speedup_rows(
+            runner, algorithm
+        )
+    ]
+    return format_table(
+        ["circuit", "nodes", "time (s)", "speedup", "efficiency"],
+        rows,
+        title=f"E1: {algorithm} speedup over sequential "
+        f"({runner.config.describe()})",
+    )

@@ -1,0 +1,85 @@
+"""Figures 4, 5 and 6: s9234 execution time, messages and rollbacks.
+
+Each ``generate_fig*`` returns the rendered artifact (series table plus
+a small ASCII plot); ``fig*_series`` returns the raw data for tests and
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.harness.config import ALGORITHMS, FIGURE_NODE_COUNTS
+from repro.harness.experiment import ExperimentRunner
+from repro.utils.tables import ascii_plot, format_series
+
+FIGURE_CIRCUIT = "s9234"
+
+
+def _series(
+    runner: ExperimentRunner, metric: str, node_counts: tuple[int, ...]
+) -> dict[str, list[float]]:
+    series: dict[str, list[float]] = {}
+    for algorithm in ALGORITHMS:
+        series[algorithm] = [
+            float(getattr(runner.record(FIGURE_CIRCUIT, algorithm, n), metric))
+            for n in node_counts
+        ]
+    return series
+
+
+def fig4_series(runner: ExperimentRunner) -> dict[str, list[float]]:
+    """Execution time vs node count, plus the sequential reference."""
+    series = {"Sequential": [
+        runner.sequential_time(FIGURE_CIRCUIT)
+    ] * len(FIGURE_NODE_COUNTS)}
+    series.update(_series(runner, "execution_time", FIGURE_NODE_COUNTS))
+    return series
+
+
+def fig5_series(runner: ExperimentRunner) -> dict[str, list[float]]:
+    """Application messages vs node count."""
+    return _series(runner, "app_messages", FIGURE_NODE_COUNTS)
+
+
+def fig6_series(runner: ExperimentRunner) -> dict[str, list[float]]:
+    """Total rollbacks vs node count."""
+    return _series(runner, "rollbacks", FIGURE_NODE_COUNTS)
+
+
+def _render(title: str, series: dict[str, list[float]], runner) -> str:
+    xs = list(FIGURE_NODE_COUNTS)
+    table = format_series(
+        "algorithm \\ nodes", xs, series,
+        title=f"{title} ({runner.config.describe()})",
+    )
+    plot = ascii_plot(series, xs, title="")
+    return f"{table}\n\n{plot}"
+
+
+def generate_fig4(runner: ExperimentRunner | None = None) -> str:
+    """Render Figure 4 (execution time vs node count)."""
+    runner = runner or ExperimentRunner()
+    return _render(
+        "Figure 4: s9234 execution times (modelled s)",
+        fig4_series(runner),
+        runner,
+    )
+
+
+def generate_fig5(runner: ExperimentRunner | None = None) -> str:
+    """Render Figure 5 (application messages vs node count)."""
+    runner = runner or ExperimentRunner()
+    return _render(
+        "Figure 5: s9234 application messages",
+        fig5_series(runner),
+        runner,
+    )
+
+
+def generate_fig6(runner: ExperimentRunner | None = None) -> str:
+    """Render Figure 6 (rollbacks vs node count)."""
+    runner = runner or ExperimentRunner()
+    return _render(
+        "Figure 6: s9234 rollback behaviour",
+        fig6_series(runner),
+        runner,
+    )

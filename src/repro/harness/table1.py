@@ -1,0 +1,45 @@
+"""Table 1: characteristics of the benchmark circuits."""
+
+from __future__ import annotations
+
+from repro.circuit.stats import circuit_stats
+from repro.harness.config import TABLE2_NODE_COUNTS
+from repro.harness.experiment import ExperimentRunner
+from repro.utils.tables import format_table
+
+#: Values printed in the paper's Table 1 (for side-by-side comparison).
+PAPER_TABLE1 = {
+    "s5378": (35, 2779, 49),
+    "s9234": (36, 5597, 39),
+    "s15850": (77, 10383, 150),
+}
+
+
+def table1_rows(runner: ExperimentRunner) -> list[tuple[str, int, int, int]]:
+    """(Circuit, Inputs, Gates, Outputs) for every benchmark at the
+    runner's scale."""
+    rows = []
+    for name in TABLE2_NODE_COUNTS:
+        stats = circuit_stats(runner.circuit(name))
+        rows.append(stats.table1_row())
+    return rows
+
+
+def generate_table1(runner: ExperimentRunner | None = None) -> str:
+    """Render Table 1, annotated with the paper's full-scale values."""
+    runner = runner or ExperimentRunner()
+    rows = []
+    for circuit, inputs, gates, outputs in table1_rows(runner):
+        base = circuit.split("@")[0]
+        p_in, p_gates, p_out = PAPER_TABLE1[base]
+        rows.append(
+            (circuit, inputs, gates, outputs, p_in, p_gates, p_out)
+        )
+    table = format_table(
+        ["Circuit", "Inputs", "Gates", "Outputs",
+         "paper:In", "paper:Gates", "paper:Out"],
+        rows,
+        title="Table 1: Characteristics of benchmarks "
+        f"({runner.config.describe()})",
+    )
+    return table

@@ -1,0 +1,62 @@
+"""Table 2: simulation times for every partitioning algorithm."""
+
+from __future__ import annotations
+
+from repro.harness.config import ALGORITHMS, TABLE2_NODE_COUNTS
+from repro.harness.experiment import ExperimentRunner
+from repro.utils.tables import format_table
+
+#: The paper's Table 2, for shape comparison: (circuit, nodes) ->
+#: (seq, Random, DFS, Cluster, Topological, Multilevel, Cone).
+PAPER_TABLE2: dict[tuple[str, int], tuple[float, ...]] = {
+    ("s5378", 2): (149.96, 166.44, 118.72, 97.45, 128.63, 91.66, 166.54),
+    ("s5378", 4): (149.96, 116.11, 84.80, 83.28, 331.45, 84.07, 113.11),
+    ("s5378", 6): (149.96, 131.95, 76.12, 96.86, 194.34, 63.61, 96.07),
+    ("s5378", 8): (149.96, 101.89, 81.09, 78.62, 152.91, 52.94, 76.56),
+    ("s9234", 2): (651.24, 675.07, 473.90, 417.63, 577.14, 529.39, 701.10),
+    ("s9234", 4): (651.24, 496.30, 424.41, 322.02, 434.85, 341.84, 502.60),
+    ("s9234", 6): (651.24, 520.80, 320.98, 373.41, 539.59, 316.96, 414.65),
+    ("s9234", 8): (651.24, 383.32, 489.97, 415.02, 360.90, 290.31, 351.35),
+    ("s15850", 4): (2154.21, 2090.82, 1279.19, 1317.28, 2272.62, 1043.43, 1832.24),
+    ("s15850", 6): (2154.21, 1434.79, 906.08, 1351.17, 1439.99, 943.91, 1363.40),
+    ("s15850", 8): (2154.21, 1407.33, 947.64, 1215.64, 2735.07, 864.03, 1176.36),
+}
+
+
+def table2_rows(runner: ExperimentRunner) -> list[list[object]]:
+    """Rows of Table 2 at the runner's configuration."""
+    rows: list[list[object]] = []
+    for name, node_counts in TABLE2_NODE_COUNTS.items():
+        seq_time = runner.sequential_time(name)
+        for nodes in node_counts:
+            row: list[object] = [name, f"{seq_time:.2f}", nodes]
+            for algorithm in ALGORITHMS:
+                record = runner.record(name, algorithm, nodes)
+                row.append(record.execution_time)
+            rows.append(row)
+    return rows
+
+
+def generate_table2(runner: ExperimentRunner | None = None) -> str:
+    """Render Table 2 (modelled seconds)."""
+    runner = runner or ExperimentRunner()
+    headers = ["Circuit", "Seq Time", "Nodes", *ALGORITHMS]
+    return format_table(
+        headers,
+        table2_rows(runner),
+        title="Table 2: Simulation time (modelled s) per partitioning "
+        f"algorithm ({runner.config.describe()})",
+    )
+
+
+def winners_by_row(runner: ExperimentRunner) -> dict[tuple[str, int], str]:
+    """Fastest algorithm per (circuit, nodes) — the shape check's core."""
+    winners = {}
+    for name, node_counts in TABLE2_NODE_COUNTS.items():
+        for nodes in node_counts:
+            best = min(
+                ALGORITHMS,
+                key=lambda a: runner.record(name, a, nodes).execution_time,
+            )
+            winners[(name, nodes)] = best
+    return winners

@@ -1,0 +1,41 @@
+"""Circuit partitioning: the six algorithms of the paper plus metrics.
+
+All partitioners implement the same interface (:class:`Partitioner`):
+given a frozen :class:`~repro.circuit.CircuitGraph` and a partition
+count ``k``, return a :class:`PartitionAssignment` mapping every gate to
+a partition. :data:`repro.partition.registry.PARTITIONERS` enumerates
+them by the names used in the paper's tables/figures.
+"""
+
+from repro.partition.assignment import PartitionAssignment
+from repro.partition.base import Partitioner
+from repro.partition.metrics import (
+    PartitionQuality,
+    edge_cut,
+    load_imbalance,
+    partition_quality,
+)
+from repro.partition.random_part import RandomPartitioner
+from repro.partition.topological import TopologicalPartitioner
+from repro.partition.depth_first import DepthFirstPartitioner
+from repro.partition.cluster_bfs import ClusterPartitioner
+from repro.partition.cone import ConePartitioner
+from repro.partition.multilevel import MultilevelPartitioner
+from repro.partition.registry import PARTITIONERS, get_partitioner
+
+__all__ = [
+    "PARTITIONERS",
+    "ClusterPartitioner",
+    "ConePartitioner",
+    "DepthFirstPartitioner",
+    "MultilevelPartitioner",
+    "PartitionAssignment",
+    "PartitionQuality",
+    "Partitioner",
+    "RandomPartitioner",
+    "TopologicalPartitioner",
+    "edge_cut",
+    "get_partitioner",
+    "load_imbalance",
+    "partition_quality",
+]

@@ -1,0 +1,58 @@
+"""Cluster (breadth-first) partitioning.
+
+Like the DFS partitioner but over a BFS traversal from the primary
+inputs: gates at similar depths cluster into the same contiguous chunk.
+The paper labels this scheme "Cluster (Breadth First)"; it shares DFS's
+concurrency weakness (chunks activate in sequence) while cutting fewer
+chain edges than Random.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.circuit.graph import CircuitGraph
+from repro.partition.assignment import PartitionAssignment
+from repro.partition.base import Partitioner
+
+
+def bfs_order(circuit: CircuitGraph) -> list[int]:
+    """Gate indices in BFS-over-fanout order from all primary inputs.
+
+    The BFS starts from every primary input simultaneously (one shared
+    frontier), so the order is by increasing hop distance from the
+    inputs. Unreached gates are appended in index order.
+    """
+    seen = [False] * circuit.num_gates
+    order: list[int] = []
+    queue: deque[int] = deque()
+    for root in circuit.primary_inputs:
+        if not seen[root]:
+            seen[root] = True
+            queue.append(root)
+    gates = circuit.gates
+    while queue:
+        u = queue.popleft()
+        order.append(u)
+        for v in gates[u].fanout:
+            if not seen[v]:
+                seen[v] = True
+                queue.append(v)
+    for u in range(circuit.num_gates):
+        if not seen[u]:
+            order.append(u)
+    return order
+
+
+class ClusterPartitioner(Partitioner):
+    """Contiguous chunks of the BFS traversal order."""
+
+    name = "Cluster"
+
+    def _partition(self, circuit: CircuitGraph, k: int) -> PartitionAssignment:
+        order = bfs_order(circuit)
+        n = len(order)
+        assignment = [0] * n
+        for position, gate in enumerate(order):
+            assignment[gate] = min(k - 1, position * k // n)
+        return PartitionAssignment(circuit, k, assignment)

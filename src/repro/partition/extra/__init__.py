@@ -1,0 +1,47 @@
+"""Related-work partitioners surveyed in Section 2 of the paper.
+
+These are NOT part of the paper's six-way study (Table 2 / Figures 4-6
+use only the strategies in :data:`repro.partition.registry.PARTITIONERS`);
+they implement the surrounding literature the paper reviews, so the
+multilevel algorithm can be compared against a wider field:
+
+- :class:`StringPartitioner` — element strings (Agrawal [1]);
+- :class:`AnnealingPartitioner` — simulated annealing over a
+  cut/balance cost function (Patil et al. [17]);
+- :class:`SpectralPartitioner` — recursive spectral bisection
+  (the classical method multilevel algorithms were measured against
+  [8, 12]);
+- :class:`CorollaPartitioner` — two-phase corolla clustering
+  (Sporrer & Bauer [20]);
+- :class:`CppPartitioner` — concurrency-preserving partitioning with
+  per-level workload balancing (Kim & Jean [14]);
+- :class:`ActivityMultilevelPartitioner` — the paper's own §6 future
+  work: multilevel phases over activity-weighted signals.
+"""
+
+from repro.partition.extra.strings import StringPartitioner
+from repro.partition.extra.annealing import AnnealingPartitioner
+from repro.partition.extra.spectral import SpectralPartitioner
+from repro.partition.extra.corolla import CorollaPartitioner
+from repro.partition.extra.cpp import CppPartitioner
+from repro.partition.extra_activity import ActivityMultilevelPartitioner
+
+#: Name -> class for the related-work strategies.
+EXTRA_PARTITIONERS = {
+    "String": StringPartitioner,
+    "Annealing": AnnealingPartitioner,
+    "Spectral": SpectralPartitioner,
+    "Corolla": CorollaPartitioner,
+    "CPP": CppPartitioner,
+    "ActivityML": ActivityMultilevelPartitioner,
+}
+
+__all__ = [
+    "ActivityMultilevelPartitioner",
+    "AnnealingPartitioner",
+    "CorollaPartitioner",
+    "CppPartitioner",
+    "EXTRA_PARTITIONERS",
+    "SpectralPartitioner",
+    "StringPartitioner",
+]

@@ -1,0 +1,92 @@
+"""Element-string partitioning (Agrawal [1]).
+
+The circuit is decomposed into *strings* — maximal chains of gates
+linked driver-to-sole-sink — and whole strings are dealt over the
+partitions. Chains serialize anyway (each gate waits for its
+predecessor), so placing a chain on one processor costs no concurrency,
+while spreading *different* chains across processors keeps them all
+busy; and a chain kept together never pays communication along its own
+length.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.graph import CircuitGraph
+from repro.partition.assignment import PartitionAssignment
+from repro.partition.base import Partitioner, fill_empty_partitions
+from repro.utils.rng import derive_rng
+
+
+def extract_strings(circuit: CircuitGraph) -> list[list[int]]:
+    """Decompose the gate set into disjoint chains (strings).
+
+    A string extends from gate ``u`` to ``v`` when ``v`` is u's only
+    sink and ``u`` is v's only driver — the classic chain condition.
+    Every gate belongs to exactly one string (singletons included);
+    strings are returned in discovery order, heads first.
+    """
+    gates = circuit.gates
+
+    def chain_next(u: int) -> int | None:
+        sinks = set(gates[u].fanout)
+        if len(sinks) != 1:
+            return None
+        (v,) = sinks
+        if len(set(gates[v].fanin)) != 1:
+            return None
+        return v
+
+    # Heads: gates that are not the chain-continuation of anything.
+    continued_to: set[int] = set()
+    for u in range(circuit.num_gates):
+        nxt = chain_next(u)
+        if nxt is not None:
+            continued_to.add(nxt)
+
+    strings: list[list[int]] = []
+    seen = [False] * circuit.num_gates
+    for head in range(circuit.num_gates):
+        if head in continued_to or seen[head]:
+            continue
+        chain = [head]
+        seen[head] = True
+        current = head
+        while True:
+            nxt = chain_next(current)
+            if nxt is None or seen[nxt]:
+                break
+            chain.append(nxt)
+            seen[nxt] = True
+            current = nxt
+        strings.append(chain)
+    # Cycle safety: a pure chain loop (all gates continued-to) has no
+    # head; sweep leftovers as their own strings.
+    for u in range(circuit.num_gates):
+        if not seen[u]:
+            seen[u] = True
+            strings.append([u])
+    return strings
+
+
+class StringPartitioner(Partitioner):
+    """Deal whole gate-chains over the partitions, longest first."""
+
+    name = "String"
+
+    def _partition(self, circuit: CircuitGraph, k: int) -> PartitionAssignment:
+        rng = derive_rng(self.seed, "string-partitioner", circuit.name, k)
+        strings = extract_strings(circuit)
+        # Longest strings placed first into the lightest partition, with
+        # random tie-breaking so equal-length strings spread out.
+        order = rng.permutation(len(strings))
+        strings = [strings[i] for i in order]
+        strings.sort(key=len, reverse=True)
+        assignment = [0] * circuit.num_gates
+        load = [0] * k
+        for chain in strings:
+            dest = min(range(k), key=load.__getitem__)
+            for gate in chain:
+                assignment[gate] = dest
+            load[dest] += len(chain)
+        fill_empty_partitions(assignment, k)
+        return PartitionAssignment(circuit, k, assignment)

@@ -1,0 +1,35 @@
+"""The multilevel partitioning algorithm (Section 3 of the paper).
+
+Three decoupled phases:
+
+1. :mod:`~repro.partition.multilevel.coarsening` — fanout coarsening
+   from the primary inputs builds a hierarchy ``G0, G1, ... Gm`` of
+   successively smaller graphs (concurrency phase);
+2. :mod:`~repro.partition.multilevel.initial` — a load-balanced k-way
+   partition of the coarsest graph, input globules spread evenly
+   (load-balance phase);
+3. greedy k-way refinement
+   (:mod:`~repro.partition.multilevel.refine_greedy`) applied at every
+   level while projecting the partition back to ``G0`` (communication
+   phase). KL- and FM-style refiners are provided for the ablation.
+"""
+
+from repro.partition.multilevel.coarse_graph import CoarseGraph
+from repro.partition.multilevel.coarsening import CoarseningResult, coarsen, coarsen_once
+from repro.partition.multilevel.initial import initial_partition
+from repro.partition.multilevel.refine_greedy import greedy_refine
+from repro.partition.multilevel.refine_kl import kl_refine
+from repro.partition.multilevel.refine_fm import fm_refine
+from repro.partition.multilevel.multilevel import MultilevelPartitioner
+
+__all__ = [
+    "CoarseGraph",
+    "CoarseningResult",
+    "MultilevelPartitioner",
+    "coarsen",
+    "coarsen_once",
+    "fm_refine",
+    "greedy_refine",
+    "initial_partition",
+    "kl_refine",
+]

@@ -1,0 +1,67 @@
+"""Phase 2: initial partitioning of the coarsest graph.
+
+Per Section 3: the input globules of the coarsest level are split
+equally across the ``k`` partitions (preserving concurrency — every
+partition owns event sources), then the remaining globules are placed
+randomly while keeping the load balanced. Load is measured in globule
+*weight* (original gate count), not globule count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.partition.multilevel.coarse_graph import CoarseGraph
+
+
+def initial_partition(
+    graph: CoarseGraph, k: int, rng: np.random.Generator
+) -> list[int]:
+    """Return a k-way partition array over the globules of *graph*."""
+    if k < 1:
+        raise PartitionError(f"k must be >= 1, got {k}")
+    if k > graph.n:
+        raise PartitionError(
+            f"coarsest graph has {graph.n} globules, cannot make {k} parts"
+        )
+    partition = [-1] * graph.n
+    load = [0] * k
+
+    # Input globules round-robin over a shuffled order: equal spread.
+    inputs = graph.input_globules
+    order = list(inputs)
+    rng.shuffle(order)
+    for i, globule in enumerate(order):
+        dest = i % k
+        partition[globule] = dest
+        load[dest] += graph.weight[globule]
+
+    # Remaining globules: random visit order, heaviest-first within the
+    # random tie-break, each to the currently lightest partition — the
+    # "random manner, maintaining load balance" of the paper.
+    rest = [v for v in range(graph.n) if partition[v] == -1]
+    rng.shuffle(rest)
+    rest.sort(key=lambda v: -graph.weight[v])
+    for globule in rest:
+        dest = min(range(k), key=load.__getitem__)
+        partition[globule] = dest
+        load[dest] += graph.weight[globule]
+
+    # Guarantee no empty partition (possible when k > #inputs and a few
+    # huge globules soak all the load): move the lightest globule out of
+    # the most loaded multi-globule partition.
+    counts = [0] * k
+    for p in partition:
+        counts[p] += 1
+    for dest in range(k):
+        if counts[dest]:
+            continue
+        candidates = [v for v in range(graph.n) if counts[partition[v]] > 1]
+        if not candidates:
+            raise PartitionError("cannot populate every partition")
+        mover = min(candidates, key=lambda v: graph.weight[v])
+        counts[partition[mover]] -= 1
+        partition[mover] = dest
+        counts[dest] += 1
+    return partition

@@ -1,0 +1,28 @@
+"""Random load-balanced partitioning (Kravitz & Ackland [15]).
+
+Gates are dealt round-robin over a random permutation: balance is
+perfect by construction, but neighbouring gates land on arbitrary
+partitions, so the expected cut fraction is ``(k-1)/k`` — this is the
+communication-bound baseline of the study.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.graph import CircuitGraph
+from repro.partition.assignment import PartitionAssignment
+from repro.partition.base import Partitioner
+from repro.utils.rng import derive_rng
+
+
+class RandomPartitioner(Partitioner):
+    """Uniformly random, perfectly load-balanced assignment."""
+
+    name = "Random"
+
+    def _partition(self, circuit: CircuitGraph, k: int) -> PartitionAssignment:
+        rng = derive_rng(self.seed, "random-partitioner", circuit.name, k)
+        order = rng.permutation(circuit.num_gates)
+        assignment = [0] * circuit.num_gates
+        for position, gate in enumerate(order):
+            assignment[int(gate)] = position % k
+        return PartitionAssignment(circuit, k, assignment)

@@ -1,0 +1,57 @@
+"""Registry of the six partitioning strategies, keyed by paper name.
+
+Mirrors the runtime-selectable partitioner library the paper integrated
+into TYVIS: the algorithm is chosen by name at run time, no recompilation
+(Section 4).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PartitionError
+from repro.partition.base import Partitioner
+from repro.partition.cluster_bfs import ClusterPartitioner
+from repro.partition.cone import ConePartitioner
+from repro.partition.depth_first import DepthFirstPartitioner
+from repro.partition.multilevel import MultilevelPartitioner
+from repro.partition.random_part import RandomPartitioner
+from repro.partition.topological import TopologicalPartitioner
+from repro.utils.rng import RngLike
+
+#: Name -> class, in the order the paper's Table 2 lists them.
+PARTITIONERS: dict[str, type[Partitioner]] = {
+    "Random": RandomPartitioner,
+    "DFS": DepthFirstPartitioner,
+    "Cluster": ClusterPartitioner,
+    "Topological": TopologicalPartitioner,
+    "Multilevel": MultilevelPartitioner,
+    "ConePartition": ConePartitioner,
+}
+
+
+def all_partitioners() -> dict[str, type[Partitioner]]:
+    """The paper's six strategies plus the related-work field.
+
+    Imported lazily: the extra strategies pull in scipy.sparse, which
+    the core study does not need.
+    """
+    from repro.partition.extra import EXTRA_PARTITIONERS
+
+    return {**PARTITIONERS, **EXTRA_PARTITIONERS}
+
+
+def get_partitioner(name: str, seed: RngLike = None, **kwargs) -> Partitioner:
+    """Instantiate the partitioner registered under *name*.
+
+    Resolves the paper's six strategies first, then the related-work
+    extras (``String``, ``Annealing``, ``Spectral``, ``Corolla``,
+    ``CPP``).
+    """
+    registry = PARTITIONERS if name in PARTITIONERS else all_partitioners()
+    try:
+        cls = registry[name]
+    except KeyError:
+        raise PartitionError(
+            f"unknown partitioner {name!r}; available: "
+            f"{sorted(all_partitioners())}"
+        ) from None
+    return cls(seed, **kwargs)

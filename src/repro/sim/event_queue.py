@@ -1,0 +1,63 @@
+"""A binary-heap event queue ordered by the shared event key."""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.sim.event import Event
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` ordered by ``(time, prio, src, n)``.
+
+    Supports lazy deletion (needed by the Time Warp node queues for
+    anti-message annihilation); the sequential kernel never deletes.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[tuple[int, int, int, int], Event]] = []
+        self._dead: set[tuple[int, int, int, int]] = set()
+        self._live = 0
+
+    def push(self, event: Event) -> None:
+        """Insert *event* (reviving its key if it was lazily deleted)."""
+        key = event.key
+        if key in self._dead:
+            # Re-inserting a key marked dead revives it (annihilation
+            # consumed the old copy; this is a fresh emission).
+            self._dead.discard(key)
+        heapq.heappush(self._heap, (key, event))
+        self._live += 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event."""
+        while self._heap:
+            key, event = heapq.heappop(self._heap)
+            if key in self._dead:
+                self._dead.discard(key)
+                continue
+            self._live -= 1
+            return event
+        raise IndexError("pop from empty EventQueue")
+
+    def remove(self, key: tuple[int, int, int, int]) -> None:
+        """Lazily delete the (unique) event with *key*."""
+        self._dead.add(key)
+        self._live -= 1
+
+    def peek_key(self) -> tuple[int, int, int, int] | None:
+        """Key of the next live event, or ``None`` when empty."""
+        while self._heap:
+            key, _ = self._heap[0]
+            if key in self._dead:
+                heapq.heappop(self._heap)
+                self._dead.discard(key)
+                continue
+            return key
+        return None
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self.peek_key() is not None

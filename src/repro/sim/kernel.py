@@ -1,0 +1,163 @@
+"""The sequential event-driven simulator.
+
+Processing model (shared key semantics with the Time Warp kernel — see
+:mod:`repro.sim.event`): an event applies gate ``src``'s new output
+value, then every combinational sink re-evaluates and, if its result
+changed from its last evaluation, emits its own output change after its
+inertial delay. DFFs capture their data input at clock boundaries
+(priority 0, i.e. before same-instant stimulus/signal changes) and all
+flip-flops power up reset to 0 via an emission at t=0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.gate import FALSE, UNKNOWN, GateType, evaluate_gate
+from repro.circuit.graph import CircuitGraph
+from repro.errors import SimulationError
+from repro.sim.cost_model import SequentialCostModel
+from repro.sim.event import CAPTURE, SIG, STIM, Event
+from repro.sim.event_queue import EventQueue
+from repro.sim.stimulus import Stimulus
+from repro.sim.trace import Trace
+
+
+@dataclass
+class SequentialResult:
+    """Outcome of one sequential run."""
+
+    circuit_name: str
+    num_cycles: int
+    events_processed: int
+    emissions: int
+    final_values: list[int]
+    execution_time: float
+    trace: Trace | None = None
+
+    def value_of(self, circuit: CircuitGraph, name: str) -> int:
+        """Final value of the gate called *name*."""
+        return self.final_values[circuit.index_of(name)]
+
+
+class SequentialSimulator:
+    """Single event queue, global state — the Table 2 baseline."""
+
+    def __init__(
+        self,
+        circuit: CircuitGraph,
+        stimulus: Stimulus,
+        *,
+        cost_model: SequentialCostModel | None = None,
+        trace: Trace | None = None,
+        max_events: int = 50_000_000,
+        forced: dict[int, int] | None = None,
+    ) -> None:
+        if not circuit.frozen:
+            raise SimulationError("circuit must be frozen")
+        if stimulus.circuit is not circuit:
+            raise SimulationError("stimulus was built for a different circuit")
+        self.circuit = circuit
+        self.stimulus = stimulus
+        self.cost_model = cost_model or SequentialCostModel()
+        self.trace = trace
+        self.max_events = max_events
+        #: Gate outputs pinned to constant values for the whole run —
+        #: the fault-injection mechanism (stuck-at faults) and a general
+        #: what-if tool. A forced gate never evaluates, captures or
+        #: follows stimulus; its pinned value propagates from t=0.
+        self.forced = dict(forced or {})
+        for gate, value in self.forced.items():
+            if not 0 <= gate < circuit.num_gates:
+                raise SimulationError(f"forced gate {gate} out of range")
+            if value not in (0, 1):
+                raise SimulationError(
+                    f"forced value for gate {gate} must be 0 or 1"
+                )
+
+    def run(self) -> SequentialResult:
+        """Simulate to quiescence and return the result."""
+        circuit = self.circuit
+        stim = self.stimulus
+        n = circuit.num_gates
+        value = [UNKNOWN] * n       # applied (visible) output values
+        eval_value = [UNKNOWN] * n  # last evaluation result per gate
+        emit_count: dict[tuple[int, int], int] = {}
+        queue = EventQueue()
+        events_processed = 0
+        emissions = 0
+
+        def emit(time: int, src: int, v: int) -> None:
+            nonlocal emissions
+            key = (src, time)
+            seq = emit_count.get(key, 0)
+            emit_count[key] = seq + 1
+            queue.push(Event(time, SIG, src, seq, v))
+            emissions += 1
+
+        forced = self.forced
+        # --- initial schedule: forced pins, DFF resets, captures, stimulus.
+        for gate_index, pinned in forced.items():
+            eval_value[gate_index] = pinned
+            emit(0, gate_index, pinned)
+        for ff in circuit.dffs:
+            if ff in forced:
+                continue
+            eval_value[ff] = FALSE
+            emit(0, ff, FALSE)
+        for cycle in range(stim.num_cycles):
+            t = stim.cycle_time(cycle)
+            if cycle > 0:
+                # Cycle 0 is the reset cycle: a capture there would race
+                # the power-up reset and latch X into feedback loops.
+                for ff in circuit.dffs:
+                    queue.push(Event(t, CAPTURE, ff, cycle, 0))
+            for pi in circuit.primary_inputs:
+                queue.push(Event(t, STIM, pi, cycle, stim.value(pi, cycle)))
+
+        gates = circuit.gates
+        while queue:
+            event = queue.pop()
+            events_processed += 1
+            if events_processed > self.max_events:
+                raise SimulationError(
+                    f"exceeded max_events={self.max_events}; "
+                    "runaway oscillation or workload too large"
+                )
+            if forced and event.src in forced and event.prio != SIG:
+                continue  # pinned gates ignore stimulus and clocks
+            if event.prio == CAPTURE:
+                ff = event.src
+                data = value[gates[ff].fanin[0]]
+                if data != eval_value[ff]:
+                    eval_value[ff] = data
+                    emit(event.time + gates[ff].delay, ff, data)
+                continue
+            # STIM and SIG both apply an output change, then fan out.
+            src = event.src
+            value[src] = event.value
+            if self.trace is not None:
+                self.trace.record(event.time, src, event.value)
+            for sink in gates[src].fanout:
+                if forced and sink in forced:
+                    continue  # pinned gates never re-evaluate
+                sink_gate = gates[sink]
+                if sink_gate.gate_type.is_sequential:
+                    continue  # DFFs sample on CAPTURE, not on data edges
+                nv = evaluate_gate(
+                    sink_gate.gate_type,
+                    [value[d] for d in sink_gate.fanin],
+                )
+                if nv != eval_value[sink]:
+                    eval_value[sink] = nv
+                    emit(event.time + sink_gate.delay, sink, nv)
+
+        return SequentialResult(
+            circuit_name=circuit.name,
+            num_cycles=stim.num_cycles,
+            events_processed=events_processed,
+            emissions=emissions,
+            final_values=value,
+            execution_time=self.cost_model.execution_time(events_processed),
+            trace=self.trace,
+        )

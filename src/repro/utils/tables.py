@@ -1,0 +1,121 @@
+"""ASCII rendering of tables, series and simple plots.
+
+The benchmark harness regenerates each table/figure of the paper as text
+(the environment has no display); these helpers keep the formatting in
+one place so every artifact renders consistently.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render *rows* under *headers* as a fixed-width ASCII table."""
+    str_rows = [[_cell(value, float_fmt) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render plot data as a table: one column per x value, row per series.
+
+    This is the textual equivalent of the paper's line/bar figures — the
+    raw series the figure plots, which is what shape comparison needs.
+    """
+    headers = [x_label] + [str(x) for x in x_values]
+    rows = []
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, expected {len(x_values)}"
+            )
+        rows.append([name] + [_cell(v, float_fmt) for v in values])
+    return format_table(headers, rows, title=title, float_fmt=float_fmt)
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence[float],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """Tiny ASCII line plot: one glyph per series, shared axes.
+
+    Good enough to eyeball crossovers in a terminal; the exact values are
+    always also emitted through :func:`format_series`.
+    """
+    if not series:
+        return title or ""
+    ys = [v for values in series.values() for v in values if v == v]
+    if not ys:
+        return title or ""
+    y_min, y_max = min(ys), max(ys)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x_values), max(x_values)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    glyphs = "*o+x#@%&"
+    legend = []
+    for gi, (name, values) in enumerate(series.items()):
+        glyph = glyphs[gi % len(glyphs)]
+        legend.append(f"  {glyph} {name}")
+        for x, y in zip(x_values, values):
+            if y != y:  # NaN: missing point
+                continue
+            col = round((x - x_min) / (x_max - x_min) * (width - 1))
+            row = round((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:>12.4g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 13 + "|" + "".join(row))
+    lines.append(f"{y_min:>12.4g} +" + "-" * width)
+    lines.append(" " * 14 + f"{x_min:<10.4g}{' ' * max(0, width - 20)}{x_max:>10.4g}")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def _cell(value: object, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:
+            return "-"
+        return float_fmt.format(value)
+    return str(value)

@@ -1,0 +1,48 @@
+"""A structural-VHDL analyzer — the SAVANT substrate, in miniature.
+
+The paper's toolchain analyzes VHDL with ``scram`` into the AIRE
+intermediate representation, generates code against the TYVIS kernel,
+and partitions at runtime after elaboration. This subpackage mirrors
+that flow for the structural netlist subset the study needs:
+
+- :mod:`~repro.vhdl.lexer` / :mod:`~repro.vhdl.parser` — analyze
+  entity/architecture pairs with component instantiations;
+- :mod:`~repro.vhdl.ir` — an AIRE-like IIR (design file, entity,
+  architecture, instantiation nodes);
+- :mod:`~repro.vhdl.elaborate` — runtime elaboration of the IIR into a
+  :class:`~repro.circuit.CircuitGraph` against the gate-primitive
+  library;
+- :mod:`~repro.vhdl.codegen` — emits an executable Python module (the
+  moral equivalent of scram's C++ code generation);
+- :mod:`~repro.vhdl.writer` — renders any circuit back to structural
+  VHDL, closing the loop for tests and examples.
+"""
+
+from repro.vhdl.lexer import tokenize
+from repro.vhdl.parser import parse_vhdl
+from repro.vhdl.ir import (
+    IIRArchitectureBody,
+    IIRComponentInstantiation,
+    IIRDesignFile,
+    IIREntityDeclaration,
+    IIRPortDeclaration,
+    IIRSignalDeclaration,
+)
+from repro.vhdl.elaborate import PRIMITIVES, elaborate
+from repro.vhdl.codegen import generate_python
+from repro.vhdl.writer import write_vhdl
+
+__all__ = [
+    "IIRArchitectureBody",
+    "IIRComponentInstantiation",
+    "IIRDesignFile",
+    "IIREntityDeclaration",
+    "IIRPortDeclaration",
+    "IIRSignalDeclaration",
+    "PRIMITIVES",
+    "elaborate",
+    "generate_python",
+    "parse_vhdl",
+    "tokenize",
+    "write_vhdl",
+]

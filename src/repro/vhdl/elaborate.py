@@ -1,0 +1,271 @@
+"""Runtime elaboration: IIR -> CircuitGraph.
+
+Mirrors the paper's runtime-elaboration design: the netlist is
+instantiated into simulation objects *after* analysis, and partitioning
+then operates on the elaborated graph (Section 4).
+
+Component instances bind to a primitive gate library by name
+(``nand2``, ``xor3``, ``inv``, ``dff``, ...). Primitive ports follow
+the convention inputs ``a, b, c, ...`` / output ``y`` (``d``/``q`` for
+flip-flops); a component declaration, when present, is checked against
+the primitive's shape.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.circuit.gate import GateType
+from repro.circuit.graph import CircuitGraph
+from repro.errors import ElaborationError
+from repro.vhdl.ir import (
+    IIRArchitectureBody,
+    IIRComponentInstantiation,
+    IIRDesignFile,
+)
+
+_INPUT_NAMES = "abcefghjklm"  # skips d (DFF data), i (easily confused), etc.
+
+
+def input_port_names(arity: int) -> list[str]:
+    """Canonical input port names for an *arity*-input primitive.
+
+    Single letters up to the alphabet budget, then ``in11, in12, ...``
+    for very wide gates (dangler absorption can make gates wide).
+    """
+    names = list(_INPUT_NAMES[:arity])
+    for i in range(len(names), arity):
+        names.append(f"in{i}")
+    return names
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """One library cell: gate type + input arity + port names."""
+
+    name: str
+    gate_type: GateType
+    arity: int
+
+    @property
+    def input_ports(self) -> list[str]:
+        if self.gate_type is GateType.DFF:
+            return ["d"]
+        return input_port_names(self.arity)
+
+    @property
+    def output_port(self) -> str:
+        return "q" if self.gate_type is GateType.DFF else "y"
+
+
+def _build_primitives() -> dict[str, Primitive]:
+    prims: dict[str, Primitive] = {}
+    for base, gate_type in (
+        ("and", GateType.AND),
+        ("nand", GateType.NAND),
+        ("or", GateType.OR),
+        ("nor", GateType.NOR),
+        ("xor", GateType.XOR),
+        ("xnor", GateType.XNOR),
+    ):
+        for arity in range(2, 10):
+            prims[f"{base}{arity}"] = Primitive(f"{base}{arity}", gate_type, arity)
+    prims["inv"] = Primitive("inv", GateType.NOT, 1)
+    prims["not1"] = Primitive("not1", GateType.NOT, 1)
+    prims["buf"] = Primitive("buf", GateType.BUF, 1)
+    prims["buf1"] = Primitive("buf1", GateType.BUF, 1)
+    prims["dff"] = Primitive("dff", GateType.DFF, 1)
+    return prims
+
+
+#: The primitive gate library instances bind against.
+PRIMITIVES: dict[str, Primitive] = _build_primitives()
+
+_WIDE_RE = re.compile(r"^(and|nand|or|nor|xor|xnor)(\d+)$")
+
+
+def lookup_primitive(name: str) -> Primitive:
+    """Resolve *name* in the library (wide gates resolved on demand)."""
+    if name in PRIMITIVES:
+        return PRIMITIVES[name]
+    match = _WIDE_RE.match(name)
+    if match:
+        base, arity = match.group(1), int(match.group(2))
+        if arity >= 2:
+            return Primitive(name, GateType[base.upper()], arity)
+    raise ElaborationError(f"unknown primitive component {name!r}")
+
+
+def _resolve_port_map(
+    inst: IIRComponentInstantiation,
+    formals: list[str],
+    env: dict[str, str],
+    what: str,
+) -> dict[str, str]:
+    """Bind *inst*'s associations to *formals*, resolving actuals via *env*."""
+    port_map: dict[str, str] = {}
+    positional = 0
+    for assoc in inst.associations:
+        if assoc.formal is None:
+            if positional >= len(formals):
+                raise ElaborationError(
+                    f"{inst.label}: too many positional associations"
+                )
+            formal = formals[positional]
+            positional += 1
+        else:
+            formal = assoc.formal
+            if formal not in formals:
+                raise ElaborationError(
+                    f"{inst.label}: {what} has no port {formal!r}"
+                )
+        if formal in port_map:
+            raise ElaborationError(
+                f"{inst.label}: port {formal!r} associated twice"
+            )
+        if assoc.actual not in env:
+            raise ElaborationError(
+                f"{inst.label}: unknown signal {assoc.actual!r}"
+            )
+        port_map[formal] = env[assoc.actual]
+    missing = [f for f in formals if f not in port_map]
+    if missing:
+        raise ElaborationError(f"{inst.label}: unconnected ports {missing}")
+    return port_map
+
+
+def _flatten(
+    design: IIRDesignFile,
+    entity_name: str,
+    prefix: str,
+    bindings: dict[str, str],
+    out: list[tuple[str, Primitive, dict[str, str]]],
+    stack: tuple[str, ...],
+) -> None:
+    """Recursively expand *entity_name* into primitive instantiations.
+
+    *bindings* maps the entity's port names to global signal names;
+    internal signals get ``prefix``-qualified global names. Hierarchy is
+    flattened structurally — exactly what elaboration means for a
+    netlist subset.
+    """
+    if entity_name in stack:
+        cycle = " -> ".join([*stack, entity_name])
+        raise ElaborationError(f"recursive instantiation: {cycle}")
+    entity = design.entities[entity_name]
+    arch = design.architecture_of(entity_name)
+    if arch is None:
+        raise ElaborationError(f"entity {entity_name!r} has no architecture")
+
+    env: dict[str, str] = {}
+    for port in entity.ports:
+        env[port.name] = bindings[port.name]
+    for sig in arch.signals:
+        if sig.name in env:
+            raise ElaborationError(
+                f"signal {sig.name!r} redeclares a port of {entity_name!r}"
+            )
+        env[sig.name] = f"{prefix}{sig.name}"
+
+    declared_components = {c.name: c for c in arch.components}
+    for inst in arch.instantiations:
+        # A user entity shadows a same-named primitive.
+        child = design.entities.get(inst.component_name)
+        if child is not None:
+            formals = [p.name for p in child.ports]
+            port_map = _resolve_port_map(
+                inst, formals, env, f"entity {child.name!r}"
+            )
+            _flatten(
+                design,
+                child.name,
+                f"{prefix}{inst.label}/",
+                port_map,
+                out,
+                (*stack, entity_name),
+            )
+            continue
+        prim = lookup_primitive(inst.component_name)
+        decl = declared_components.get(inst.component_name)
+        if decl is not None:
+            decl_inputs = [p.name for p in decl.ports if p.mode == "in"]
+            decl_outputs = [p.name for p in decl.ports if p.mode == "out"]
+            if (
+                sorted(decl_inputs) != sorted(prim.input_ports)
+                or decl_outputs != [prim.output_port]
+            ):
+                raise ElaborationError(
+                    f"component {inst.component_name!r} declaration does not "
+                    f"match the primitive library shape"
+                )
+        formals = prim.input_ports + [prim.output_port]
+        port_map = _resolve_port_map(
+            inst, formals, env, f"component {prim.name!r}"
+        )
+        out.append((f"{prefix}{inst.label}", prim, port_map))
+
+
+def elaborate(
+    design: IIRDesignFile,
+    top: str | None = None,
+    *,
+    name: str | None = None,
+) -> CircuitGraph:
+    """Elaborate entity *top* (default: the last entity analyzed).
+
+    Hierarchy is supported: an instantiation whose component name
+    matches an analyzed entity is recursively flattened (internal
+    signals become ``label/signal`` global names); anything else binds
+    to the primitive gate library.
+    """
+    if not design.entities:
+        raise ElaborationError("design file contains no entities")
+    if top is None:
+        top = next(reversed(design.entities))
+    entity = design.entities.get(top)
+    if entity is None:
+        raise ElaborationError(
+            f"no entity {top!r}; analyzed: {sorted(design.entities)}"
+        )
+
+    resolved: list[tuple[str, Primitive, dict[str, str]]] = []
+    _flatten(
+        design, top, "", {p.name: p.name for p in entity.ports}, resolved, ()
+    )
+
+    circuit = CircuitGraph(name or top)
+    driver_of: dict[str, str] = {}
+    for label, prim, port_map in resolved:
+        out_signal = port_map[prim.output_port]
+        if out_signal in driver_of:
+            raise ElaborationError(
+                f"signal {out_signal!r} driven by both "
+                f"{driver_of[out_signal]!r} and {label!r}"
+            )
+        driver_of[out_signal] = label
+
+    for port in entity.input_ports:
+        if port.name in driver_of:
+            raise ElaborationError(
+                f"input port {port.name!r} is driven inside the architecture"
+            )
+        circuit.add_gate(port.name, GateType.INPUT)
+    for label, prim, port_map in resolved:
+        circuit.add_gate(port_map[prim.output_port], prim.gate_type)
+    for label, prim, port_map in resolved:
+        sink = circuit.index_of(port_map[prim.output_port])
+        for formal in prim.input_ports:
+            actual = port_map[formal]
+            if actual not in circuit:
+                raise ElaborationError(
+                    f"{label}: signal {actual!r} has no driver"
+                )
+            circuit.connect(circuit.index_of(actual), sink)
+    for port in entity.output_ports:
+        if port.name not in circuit:
+            raise ElaborationError(
+                f"output port {port.name!r} is never driven"
+            )
+        circuit.mark_output(circuit.index_of(port.name))
+    return circuit.freeze()

@@ -1,0 +1,105 @@
+"""AIRE-like intermediate representation (IIR) nodes.
+
+Class names follow the Advanced Intermediate Representation with
+Extensibility naming (reference [22] of the paper): every node is an
+``IIR*`` class. Only what structural netlists need is modelled; the
+dataclasses are deliberately dumb containers — semantic checks live in
+the elaborator, mirroring SAVANT's split between the analyzer and the
+code generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class IIRPortDeclaration:
+    """One port of an entity or component: ``name : in std_logic``."""
+
+    name: str
+    mode: str  # "in" | "out"
+    type_name: str = "std_logic"
+
+
+@dataclass(frozen=True)
+class IIREntityDeclaration:
+    """``entity <name> is port (...); end``."""
+
+    name: str
+    ports: tuple[IIRPortDeclaration, ...]
+
+    def port(self, name: str) -> IIRPortDeclaration | None:
+        """The port called *name*, or ``None``."""
+        for p in self.ports:
+            if p.name == name:
+                return p
+        return None
+
+    @property
+    def input_ports(self) -> list[IIRPortDeclaration]:
+        return [p for p in self.ports if p.mode == "in"]
+
+    @property
+    def output_ports(self) -> list[IIRPortDeclaration]:
+        return [p for p in self.ports if p.mode == "out"]
+
+
+@dataclass(frozen=True)
+class IIRComponentDeclaration:
+    """A component declared in an architecture's declarative region."""
+
+    name: str
+    ports: tuple[IIRPortDeclaration, ...]
+
+
+@dataclass(frozen=True)
+class IIRSignalDeclaration:
+    """``signal a, b : std_logic;`` — one node per signal name."""
+
+    name: str
+    type_name: str = "std_logic"
+
+
+@dataclass(frozen=True)
+class IIRAssociation:
+    """One element of a port map: formal (may be None if positional)."""
+
+    formal: str | None
+    actual: str
+
+
+@dataclass(frozen=True)
+class IIRComponentInstantiation:
+    """``label : comp port map (...)``."""
+
+    label: str
+    component_name: str
+    associations: tuple[IIRAssociation, ...]
+
+
+@dataclass(frozen=True)
+class IIRArchitectureBody:
+    """``architecture <name> of <entity> is ... begin ... end``."""
+
+    name: str
+    entity_name: str
+    components: tuple[IIRComponentDeclaration, ...]
+    signals: tuple[IIRSignalDeclaration, ...]
+    instantiations: tuple[IIRComponentInstantiation, ...]
+
+
+@dataclass
+class IIRDesignFile:
+    """Top container: everything one analysis run produced."""
+
+    entities: dict[str, IIREntityDeclaration] = field(default_factory=dict)
+    architectures: list[IIRArchitectureBody] = field(default_factory=list)
+
+    def architecture_of(self, entity_name: str) -> IIRArchitectureBody | None:
+        """Last architecture bound to *entity_name* (VHDL default binding)."""
+        found = None
+        for arch in self.architectures:
+            if arch.entity_name == entity_name:
+                found = arch
+        return found

@@ -1,0 +1,130 @@
+"""Tokenizer for the structural VHDL subset.
+
+Handles identifiers (case-insensitive, normalised to lower case),
+extended identifiers (``\\Gate[3]\\``), the punctuation the netlist
+grammar needs, ``--`` comments, and integer literals (for generic maps
+in future extensions). Positions are tracked for error messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import VHDLLexError
+
+KEYWORDS = frozenset(
+    """
+    architecture begin component end entity is library of port map signal
+    use in out inout downto to generic others all
+    """.split()
+)
+
+
+class TokenKind(Enum):
+    IDENT = "IDENT"
+    KEYWORD = "KEYWORD"
+    INTEGER = "INTEGER"
+    LPAREN = "("
+    RPAREN = ")"
+    SEMI = ";"
+    COLON = ":"
+    COMMA = ","
+    DOT = "."
+    ARROW = "=>"
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        """True iff this token is the keyword *word*."""
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"
+
+
+_SINGLE = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ";": TokenKind.SEMI,
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source*; always ends with an EOF token."""
+    tokens: list[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+
+    def error(message: str) -> VHDLLexError:
+        return VHDLLexError(message, line, col)
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("--", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "\\":  # extended identifier
+            end = source.find("\\", i + 1)
+            if end == -1 or "\n" in source[i:end]:
+                raise error("unterminated extended identifier")
+            text = source[i : end + 1]
+            tokens.append(Token(TokenKind.IDENT, text, line, col))
+            col += end + 1 - i
+            i = end + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i].lower()
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, line, col))
+            col += i - start
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            tokens.append(Token(TokenKind.INTEGER, source[start:i], line, col))
+            col += i - start
+            continue
+        if source.startswith("=>", i):
+            tokens.append(Token(TokenKind.ARROW, "=>", line, col))
+            i += 2
+            col += 2
+            continue
+        if ch == ":":
+            tokens.append(Token(TokenKind.COLON, ":", line, col))
+            i += 1
+            col += 1
+            continue
+        if ch in _SINGLE:
+            tokens.append(Token(_SINGLE[ch], ch, line, col))
+            i += 1
+            col += 1
+            continue
+        raise error(f"unexpected character {ch!r}")
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

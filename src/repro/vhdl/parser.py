@@ -1,0 +1,258 @@
+"""Recursive-descent parser for the structural VHDL subset.
+
+Grammar (netlist subset):
+
+.. code-block:: text
+
+    design_file   := { library_clause | use_clause | entity | architecture }
+    entity        := ENTITY ident IS [port_clause] END [ENTITY] [ident] ';'
+    port_clause   := PORT '(' port_decl { ';' port_decl } ')' ';'
+    port_decl     := ident {',' ident} ':' (IN|OUT|INOUT) ident
+    architecture  := ARCHITECTURE ident OF ident IS {component|signal}
+                     BEGIN {instantiation} END [ARCHITECTURE] [ident] ';'
+    component     := COMPONENT ident [IS] [port_clause] END COMPONENT [ident] ';'
+    signal        := SIGNAL ident {',' ident} ':' ident ';'
+    instantiation := ident ':' ident PORT MAP '(' assoc {',' assoc} ')' ';'
+    assoc         := [ident '=>'] ident
+
+Library/use clauses are accepted and ignored (std_logic is built in).
+"""
+
+from __future__ import annotations
+
+from repro.errors import VHDLParseError
+from repro.vhdl.ir import (
+    IIRArchitectureBody,
+    IIRAssociation,
+    IIRComponentDeclaration,
+    IIRComponentInstantiation,
+    IIRDesignFile,
+    IIREntityDeclaration,
+    IIRPortDeclaration,
+    IIRSignalDeclaration,
+)
+from repro.vhdl.lexer import Token, TokenKind, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- primitives ----------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def error(self, message: str) -> VHDLParseError:
+        return VHDLParseError(
+            f"{message} (found {self.current.text!r})", self.current.line
+        )
+
+    def expect(self, kind: TokenKind) -> Token:
+        if self.current.kind is not kind:
+            raise self.error(f"expected {kind.value}")
+        return self.advance()
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise self.error(f"expected keyword {word!r}")
+        return self.advance()
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_ident(self) -> str:
+        if self.current.kind is not TokenKind.IDENT:
+            raise self.error("expected identifier")
+        return self.advance().text
+
+    # -- grammar ---------------------------------------------------------
+    def design_file(self) -> IIRDesignFile:
+        design = IIRDesignFile()
+        while self.current.kind is not TokenKind.EOF:
+            if self.accept_keyword("library"):
+                self.expect_ident()
+                self.expect(TokenKind.SEMI)
+            elif self.accept_keyword("use"):
+                # use ieee.std_logic_1164.all;
+                self.expect_ident()
+                while self.current.kind is TokenKind.DOT:
+                    self.advance()
+                    if not (
+                        self.current.kind is TokenKind.IDENT
+                        or self.current.is_keyword("all")
+                    ):
+                        raise self.error("expected name after '.'")
+                    self.advance()
+                self.expect(TokenKind.SEMI)
+            elif self.current.is_keyword("entity"):
+                entity = self.entity()
+                if entity.name in design.entities:
+                    raise VHDLParseError(
+                        f"entity {entity.name!r} defined twice"
+                    )
+                design.entities[entity.name] = entity
+            elif self.current.is_keyword("architecture"):
+                design.architectures.append(self.architecture())
+            else:
+                raise self.error("expected entity, architecture, library or use")
+        for arch in design.architectures:
+            if arch.entity_name not in design.entities:
+                raise VHDLParseError(
+                    f"architecture {arch.name!r} refers to unknown entity "
+                    f"{arch.entity_name!r}"
+                )
+        return design
+
+    def entity(self) -> IIREntityDeclaration:
+        self.expect_keyword("entity")
+        name = self.expect_ident()
+        self.expect_keyword("is")
+        ports: tuple[IIRPortDeclaration, ...] = ()
+        if self.current.is_keyword("port"):
+            ports = self.port_clause()
+        self.expect_keyword("end")
+        self.accept_keyword("entity")
+        if self.current.kind is TokenKind.IDENT:
+            closing = self.expect_ident()
+            if closing != name:
+                raise VHDLParseError(
+                    f"entity {name!r} closed as {closing!r}"
+                )
+        self.expect(TokenKind.SEMI)
+        return IIREntityDeclaration(name, ports)
+
+    def port_clause(self) -> tuple[IIRPortDeclaration, ...]:
+        self.expect_keyword("port")
+        self.expect(TokenKind.LPAREN)
+        ports: list[IIRPortDeclaration] = []
+        while True:
+            names = [self.expect_ident()]
+            while self.current.kind is TokenKind.COMMA:
+                self.advance()
+                names.append(self.expect_ident())
+            self.expect(TokenKind.COLON)
+            mode_token = self.current
+            if mode_token.is_keyword("in") or mode_token.is_keyword("out"):
+                mode = self.advance().text
+            elif mode_token.is_keyword("inout"):
+                raise self.error("inout ports are not supported by the subset")
+            else:
+                mode = "in"  # VHDL default mode
+            type_name = self.expect_ident()
+            for port_name in names:
+                ports.append(IIRPortDeclaration(port_name, mode, type_name))
+            if self.current.kind is TokenKind.SEMI:
+                self.advance()
+                continue
+            break
+        self.expect(TokenKind.RPAREN)
+        self.expect(TokenKind.SEMI)
+        return tuple(ports)
+
+    def architecture(self) -> IIRArchitectureBody:
+        self.expect_keyword("architecture")
+        name = self.expect_ident()
+        self.expect_keyword("of")
+        entity_name = self.expect_ident()
+        self.expect_keyword("is")
+        components: list[IIRComponentDeclaration] = []
+        signals: list[IIRSignalDeclaration] = []
+        while not self.current.is_keyword("begin"):
+            if self.current.is_keyword("component"):
+                components.append(self.component())
+            elif self.current.is_keyword("signal"):
+                signals.extend(self.signal_decl())
+            else:
+                raise self.error("expected component, signal or begin")
+        self.expect_keyword("begin")
+        instantiations: list[IIRComponentInstantiation] = []
+        while not self.current.is_keyword("end"):
+            instantiations.append(self.instantiation())
+        self.expect_keyword("end")
+        self.accept_keyword("architecture")
+        if self.current.kind is TokenKind.IDENT:
+            self.expect_ident()
+        self.expect(TokenKind.SEMI)
+        return IIRArchitectureBody(
+            name,
+            entity_name,
+            tuple(components),
+            tuple(signals),
+            tuple(instantiations),
+        )
+
+    def component(self) -> IIRComponentDeclaration:
+        self.expect_keyword("component")
+        name = self.expect_ident()
+        self.accept_keyword("is")
+        ports: tuple[IIRPortDeclaration, ...] = ()
+        if self.current.is_keyword("port"):
+            ports = self.port_clause()
+        self.expect_keyword("end")
+        self.expect_keyword("component")
+        if self.current.kind is TokenKind.IDENT:
+            self.expect_ident()
+        self.expect(TokenKind.SEMI)
+        return IIRComponentDeclaration(name, ports)
+
+    def signal_decl(self) -> list[IIRSignalDeclaration]:
+        self.expect_keyword("signal")
+        names = [self.expect_ident()]
+        while self.current.kind is TokenKind.COMMA:
+            self.advance()
+            names.append(self.expect_ident())
+        self.expect(TokenKind.COLON)
+        type_name = self.expect_ident()
+        self.expect(TokenKind.SEMI)
+        return [IIRSignalDeclaration(name, type_name) for name in names]
+
+    def instantiation(self) -> IIRComponentInstantiation:
+        label = self.expect_ident()
+        self.expect(TokenKind.COLON)
+        component_name = self.expect_ident()
+        self.expect_keyword("port")
+        self.expect_keyword("map")
+        self.expect(TokenKind.LPAREN)
+        associations: list[IIRAssociation] = []
+        positional_seen = False
+        named_seen = False
+        while True:
+            first = self.expect_ident()
+            if self.current.kind is TokenKind.ARROW:
+                self.advance()
+                actual = self.expect_ident()
+                associations.append(IIRAssociation(first, actual))
+                named_seen = True
+            else:
+                if named_seen:
+                    raise self.error(
+                        "positional association after named association"
+                    )
+                associations.append(IIRAssociation(None, first))
+                positional_seen = True
+            if self.current.kind is TokenKind.COMMA:
+                self.advance()
+                continue
+            break
+        del positional_seen
+        self.expect(TokenKind.RPAREN)
+        self.expect(TokenKind.SEMI)
+        return IIRComponentInstantiation(
+            label, component_name, tuple(associations)
+        )
+
+
+def parse_vhdl(source: str) -> IIRDesignFile:
+    """Analyze *source* into an :class:`IIRDesignFile`."""
+    return _Parser(tokenize(source)).design_file()

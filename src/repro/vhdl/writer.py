@@ -1,0 +1,112 @@
+"""Render a CircuitGraph as structural VHDL.
+
+Closes the toolchain loop: generated circuits (or parsed ``.bench``
+netlists) can be emitted as VHDL, re-analyzed by the parser and
+re-elaborated — the round trip is property-tested.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.gate import GateType
+from repro.circuit.graph import CircuitGraph
+from repro.errors import VHDLError
+from repro.vhdl.elaborate import input_port_names
+
+_PRIM_BASE = {
+    GateType.AND: "and",
+    GateType.NAND: "nand",
+    GateType.OR: "or",
+    GateType.NOR: "nor",
+    GateType.XOR: "xor",
+    GateType.XNOR: "xnor",
+}
+
+def _primitive_for(gate) -> tuple[str, list[str]]:
+    """(component name, ordered formal ports) for *gate*."""
+    gt = gate.gate_type
+    if gt in _PRIM_BASE:
+        arity = len(gate.fanin)
+        return f"{_PRIM_BASE[gt]}{arity}", input_port_names(arity) + ["y"]
+    if gt is GateType.NOT:
+        return "inv", ["a", "y"]
+    if gt is GateType.BUF:
+        return "buf", ["a", "y"]
+    if gt is GateType.DFF:
+        return "dff", ["d", "q"]
+    raise VHDLError(f"gate type {gt} has no VHDL primitive")
+
+
+def _sanitize(name: str) -> str:
+    """Make *name* a legal VHDL basic identifier (or extend it)."""
+    if name and name[0].isalpha() and all(c.isalnum() or c == "_" for c in name):
+        return name.lower()
+    return "\\" + name + "\\"
+
+
+def write_vhdl(circuit: CircuitGraph, *, architecture: str = "structural") -> str:
+    """Serialise *circuit* as an entity/architecture pair."""
+    if not circuit.frozen:
+        raise VHDLError("freeze() the circuit before writing VHDL")
+    entity = _sanitize(circuit.name)
+    lines = [
+        f"-- generated from circuit {circuit.name!r}",
+        "library ieee;",
+        "use ieee.std_logic_1164.all;",
+        "",
+        f"entity {entity} is",
+    ]
+    port_lines = []
+    for idx in circuit.primary_inputs:
+        port_lines.append(f"    {_sanitize(circuit.gates[idx].name)} : in std_logic")
+    for idx in circuit.primary_outputs:
+        port_lines.append(f"    {_sanitize(circuit.gates[idx].name)} : out std_logic")
+    lines.append("  port (")
+    lines.append(";\n".join(port_lines))
+    lines.append("  );")
+    lines.append(f"end entity {entity};")
+    lines.append("")
+    lines.append(f"architecture {architecture} of {entity} is")
+
+    # Component declarations for every primitive used.
+    used: dict[str, list[str]] = {}
+    for gate in circuit.gates:
+        if gate.gate_type is GateType.INPUT:
+            continue
+        comp, formals = _primitive_for(gate)
+        used.setdefault(comp, formals)
+    for comp in sorted(used):
+        formals = used[comp]
+        inputs = ", ".join(formals[:-1])
+        lines.append(f"  component {comp} is")
+        lines.append(
+            f"    port ({inputs} : in std_logic; {formals[-1]} : out std_logic);"
+        )
+        lines.append("  end component;")
+
+    # Internal signals: every driven signal that is not an output port.
+    port_names = {
+        circuit.gates[i].name
+        for i in circuit.primary_inputs + circuit.primary_outputs
+    }
+    internal = [
+        _sanitize(g.name)
+        for g in circuit.gates
+        if g.gate_type is not GateType.INPUT and g.name not in port_names
+    ]
+    for chunk_start in range(0, len(internal), 8):
+        chunk = internal[chunk_start : chunk_start + 8]
+        lines.append(f"  signal {', '.join(chunk)} : std_logic;")
+
+    lines.append("begin")
+    for seq, gate in enumerate(circuit.gates):
+        if gate.gate_type is GateType.INPUT:
+            continue
+        comp, formals = _primitive_for(gate)
+        actuals = [_sanitize(circuit.gates[d].name) for d in gate.fanin]
+        actuals.append(_sanitize(gate.name))
+        assoc = ", ".join(
+            f"{formal} => {actual}" for formal, actual in zip(formals, actuals)
+        )
+        lines.append(f"  u{seq} : {comp} port map ({assoc});")
+    lines.append(f"end architecture {architecture};")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,302 @@
+"""Logical processes: one per gate, with incremental state saving.
+
+An LP owns local copies of its input signal values (updated only by
+messages — LPs never read each other's state directly), its output
+value, and a processed-event history. Every ``process`` call appends an
+undo record capturing exactly the state it overwrote, so rollback is a
+reverse replay of records (incremental state saving, as WARPED does for
+small states).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.circuit.gate import FALSE, UNKNOWN, GateType, evaluate_gate
+from repro.circuit.graph import Gate
+from repro.errors import SimulationError
+from repro.sim.event import CAPTURE, SIG, STIM, EventKey
+from repro.warped.messages import Message
+
+#: Key smaller than every real event key.
+MIN_KEY: EventKey = (-1, -1, -1, -1)
+
+
+class ProcessedRecord:
+    """History entry: the message processed plus undo information."""
+
+    __slots__ = ("msg", "old_input", "old_output", "emissions")
+
+    def __init__(
+        self,
+        msg: Message,
+        old_input: int | None,
+        old_output: int,
+        emissions: list[Message],
+    ) -> None:
+        self.msg = msg
+        self.old_input = old_input
+        self.old_output = old_output
+        self.emissions = emissions
+
+    @property
+    def key(self) -> EventKey:
+        return self.msg.key
+
+
+class LogicalProcess:
+    """Time Warp LP wrapping one gate."""
+
+    __slots__ = (
+        "gate",
+        "node",
+        "input_copy",
+        "output_value",
+        "last_key",
+        "processed",
+        "processed_uids",
+        "emission_seq",
+        "checkpoint_interval",
+        "checkpoints",
+        "_since_checkpoint",
+        "_sink_list",
+        "_is_comb",
+    )
+
+    def __init__(
+        self, gate: Gate, node: int, checkpoint_interval: int | None = None
+    ) -> None:
+        self.gate = gate
+        self.node = node
+        self.input_copy: dict[int, int] = dict.fromkeys(gate.fanin, UNKNOWN)
+        gt = gate.gate_type
+        self.output_value = FALSE if gt is GateType.DFF else UNKNOWN
+        self.last_key: EventKey = MIN_KEY
+        self.processed: list[ProcessedRecord] = []
+        #: None = incremental state saving (per-event undo info, the
+        #: default); an integer C = periodic checkpointing: a full state
+        #: snapshot every C events, rollback restores the nearest
+        #: snapshot and *coasts forward* (state-only replay, no sends).
+        self.checkpoint_interval = checkpoint_interval
+        #: (key, input_copy snapshot, output_value) — state right AFTER
+        #: processing the record with that key.
+        self.checkpoints: list[tuple[EventKey, dict[int, int], int]] = [
+            (MIN_KEY, dict(self.input_copy), self.output_value)
+        ]
+        self._since_checkpoint = 0
+        #: uids of messages in ``processed`` — the authoritative "has
+        #: this copy been processed" test for annihilation. (last_key
+        #: comparisons are NOT a substitute: an anti-message can arrive
+        #: while its positive is still in flight, with other events
+        #: already processed beyond its key.)
+        self.processed_uids: set[int] = set()
+        # Monotone emission counter: NEVER decremented, even on rollback.
+        # A replayed emission thus mints a strictly larger n than the
+        # stale copy its anti-message is chasing, keeping event keys
+        # unique per destination; relative order among committed
+        # emissions still follows evaluation (key) order, so final
+        # results stay identical to the sequential engine's.
+        self.emission_seq = 0
+        # Unique sinks in first-occurrence order: parallel edges carry
+        # the same value change, one message copy suffices.
+        self._sink_list = list(dict.fromkeys(gate.fanout))
+        self._is_comb = gt not in (GateType.DFF, GateType.INPUT)
+
+    # ------------------------------------------------------------------
+    def process(self, msg: Message, next_uid) -> ProcessedRecord:
+        """Apply *msg*; the caller guarantees ``msg.key > self.last_key``.
+
+        ``next_uid`` is a callable minting fresh message uids. Returns
+        the history record (its ``emissions`` are the messages the
+        kernel must route).
+        """
+        if msg.key <= self.last_key:
+            raise SimulationError(
+                f"LP {self.gate.name}: straggler {msg!r} reached process() "
+                f"(last key {self.last_key}); kernel must roll back first"
+            )
+        gate = self.gate
+        old_output = self.output_value
+        old_input: int | None = None
+        emissions: list[Message] = []
+
+        if msg.prio == CAPTURE:
+            data = self.input_copy[gate.fanin[0]]
+            if data != self.output_value:
+                self.output_value = data
+                emissions = self._emit_change(
+                    msg.time + gate.delay, data, next_uid
+                )
+        elif msg.prio == STIM and msg.src == gate.index:
+            # Own stimulus: apply, fan the SAME key out to the sinks.
+            if msg.value != self.output_value:
+                self.output_value = msg.value
+                emissions = [
+                    Message(
+                        msg.time, STIM, gate.index, msg.n,
+                        msg.value, sink, next_uid(),
+                    )
+                    for sink in self._sink_list
+                ]
+        else:
+            # Signal (or stimulus copy) from a driving LP.
+            old_input = self.input_copy[msg.src]
+            self.input_copy[msg.src] = msg.value
+            if self._is_comb:
+                nv = evaluate_gate(
+                    gate.gate_type,
+                    [self.input_copy[d] for d in gate.fanin],
+                )
+                if nv != self.output_value:
+                    self.output_value = nv
+                    emissions = self._emit_change(
+                        msg.time + gate.delay, nv, next_uid
+                    )
+
+        record = ProcessedRecord(msg, old_input, old_output, emissions)
+        self.processed.append(record)
+        self.processed_uids.add(msg.uid)
+        self.last_key = msg.key
+        if self.checkpoint_interval is not None:
+            self._since_checkpoint += 1
+            if self._since_checkpoint >= self.checkpoint_interval:
+                self.checkpoints.append(
+                    (msg.key, dict(self.input_copy), self.output_value)
+                )
+                self._since_checkpoint = 0
+        return record
+
+    def _emit_change(self, time: int, value: int, next_uid) -> list[Message]:
+        """Mint the output-change copies for every sink at *time*."""
+        n = self.emission_seq
+        self.emission_seq = n + 1
+        gate_index = self.gate.index
+        return [
+            Message(time, SIG, gate_index, n, value, sink, next_uid())
+            for sink in self._sink_list
+        ]
+
+    # ------------------------------------------------------------------
+    def undo_last(self) -> ProcessedRecord:
+        """Pop and revert the most recent history record."""
+        if not self.processed:
+            raise SimulationError(
+                f"LP {self.gate.name}: nothing to undo (fossil-collected?)"
+            )
+        record = self.processed.pop()
+        self.processed_uids.discard(record.msg.uid)
+        self.output_value = record.old_output
+        if record.old_input is not None:
+            self.input_copy[record.msg.src] = record.old_input
+        # emission_seq is deliberately NOT rewound (see __init__).
+        self.last_key = self.processed[-1].key if self.processed else MIN_KEY
+        return record
+
+    def apply_state_only(self, msg: Message) -> None:
+        """Re-apply *msg*'s state effect without emitting (coast-forward).
+
+        The emissions produced the first time around are still valid —
+        they live in the preserved records or were already delivered —
+        so replay only has to rebuild the local state.
+        """
+        gate = self.gate
+        if msg.prio == CAPTURE:
+            data = self.input_copy[gate.fanin[0]]
+            if data != self.output_value:
+                self.output_value = data
+        elif msg.prio == STIM and msg.src == gate.index:
+            if msg.value != self.output_value:
+                self.output_value = msg.value
+        else:
+            self.input_copy[msg.src] = msg.value
+            if self._is_comb:
+                nv = evaluate_gate(
+                    gate.gate_type,
+                    [self.input_copy[d] for d in gate.fanin],
+                )
+                if nv != self.output_value:
+                    self.output_value = nv
+
+    def rollback_to(self, to_key: EventKey) -> tuple[list[ProcessedRecord], int]:
+        """Checkpoint-mode rollback: undo every record with key >= *to_key*.
+
+        Restores the latest snapshot strictly before *to_key* and coasts
+        forward through the surviving records after it. Returns the
+        undone records (newest last) and the number of coasted events
+        (the re-execution work the machine model charges for).
+        """
+        if self.checkpoint_interval is None:
+            raise SimulationError(
+                "rollback_to is for checkpoint mode; use undo_last"
+            )
+        keys = [record.key for record in self.processed]
+        pos = bisect.bisect_left(keys, to_key)
+        undone = self.processed[pos:]
+        for record in undone:
+            self.processed_uids.discard(record.msg.uid)
+        del self.processed[pos:]
+
+        while self.checkpoints and self.checkpoints[-1][0] >= to_key:
+            self.checkpoints.pop()
+        if not self.checkpoints:
+            raise SimulationError(
+                f"LP {self.gate.name}: no checkpoint before {to_key} "
+                "(fossil collection must always keep a base snapshot)"
+            )
+        ckpt_key, snapshot, out = self.checkpoints[-1]
+        self.input_copy = dict(snapshot)
+        self.output_value = out
+        start = bisect.bisect_right(keys[:pos], ckpt_key)
+        coasted = 0
+        for record in self.processed[start:]:
+            self.apply_state_only(record.msg)
+            coasted += 1
+        self.last_key = self.processed[-1].key if self.processed else MIN_KEY
+        self._since_checkpoint = len(self.processed) - start
+        return undone, coasted
+
+    def fossil_collect(self, gvt: int) -> int:
+        """Drop history strictly below *gvt*; returns records freed."""
+        keep_from = 0
+        for keep_from, record in enumerate(self.processed):  # noqa: B007
+            if record.msg.time >= gvt:
+                break
+        else:
+            keep_from = len(self.processed)
+        if keep_from:
+            if self.checkpoint_interval is not None:
+                # Rebuild the committed-state base at the collection
+                # boundary: restore the newest snapshot at or before the
+                # last dropped record, coast through the dropped suffix,
+                # and make that the new base checkpoint. Without it, a
+                # later rollback could need records that no longer exist.
+                boundary_key = self.processed[keep_from - 1].key
+                base_index = 0
+                for i, (key, _, _) in enumerate(self.checkpoints):
+                    if key <= boundary_key:
+                        base_index = i
+                base_key, snapshot, out = self.checkpoints[base_index]
+                state = dict(snapshot)
+                saved_input, saved_output = self.input_copy, self.output_value
+                self.input_copy = state
+                self.output_value = out
+                for record in self.processed[:keep_from]:
+                    if record.key > base_key:
+                        self.apply_state_only(record.msg)
+                boundary_snapshot = (
+                    boundary_key, dict(self.input_copy), self.output_value
+                )
+                self.input_copy, self.output_value = saved_input, saved_output
+                self.checkpoints = [boundary_snapshot] + [
+                    c for c in self.checkpoints if c[0] > boundary_key
+                ]
+            for record in self.processed[:keep_from]:
+                self.processed_uids.discard(record.msg.uid)
+            del self.processed[:keep_from]
+        return keep_from
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LP({self.gate.name}, node={self.node}, out={self.output_value}, "
+            f"last={self.last_key})"
+        )

@@ -1,0 +1,50 @@
+"""Network latency models for the virtual cluster.
+
+The paper's testbed interconnect was fast (100 Mb/s) ethernet; the
+default model charges its characteristic small-message latency. Models
+are deliberately simple — partitioning quality expresses itself through
+*how many* messages cross the network, and a constant-latency FIFO
+channel preserves per-channel message order, which the anti-message
+machinery relies on (an anti-message is always sent after its positive
+copy, hence always arrives after it).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import ConfigError
+
+
+class NetworkModel(abc.ABC):
+    """Maps a message send to an arrival delay in (modelled) seconds."""
+
+    @abc.abstractmethod
+    def latency(self, src_node: int, dst_node: int) -> float:
+        """One-way delay from *src_node* to *dst_node*."""
+
+
+class UniformNetwork(NetworkModel):
+    """Same constant latency between every pair of distinct nodes."""
+
+    def __init__(self, delay: float) -> None:
+        if delay <= 0:
+            raise ConfigError("network delay must be positive")
+        self.delay = delay
+
+    def latency(self, src_node: int, dst_node: int) -> float:
+        if src_node == dst_node:
+            return 0.0
+        return self.delay
+
+
+class FastEthernet(UniformNetwork):
+    """100 Mb/s switched ethernet with MPI-over-TCP overheads (~1999).
+
+    Small-message one-way latency on such clusters was measured around
+    100–200 µs end to end (kernel TCP stack dominating); the default
+    uses 150 µs.
+    """
+
+    def __init__(self, delay: float = 150e-6) -> None:
+        super().__init__(delay)

@@ -1,0 +1,108 @@
+"""Tests for activity profiling and the activity-weighted multilevel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.partition import get_partitioner
+from repro.partition.extra_activity import ActivityMultilevelPartitioner
+from repro.sim import RandomStimulus, SequentialSimulator
+from repro.sim.activity import ActivityProfile, profile_activity
+from repro.warped import TimeWarpSimulator, VirtualMachine
+
+
+class TestProfiling:
+    def test_counts_match_trace_totals(self, small_circuit):
+        profile = profile_activity(small_circuit, num_cycles=10, seed=1)
+        assert len(profile.changes) == small_circuit.num_gates
+        assert profile.total_changes > 0
+
+    def test_deterministic(self, small_circuit):
+        a = profile_activity(small_circuit, num_cycles=10, seed=1)
+        b = profile_activity(small_circuit, num_cycles=10, seed=1)
+        assert a.changes == b.changes
+
+    def test_edge_weight_floor(self, small_circuit):
+        profile = profile_activity(small_circuit, num_cycles=4, seed=1)
+        for gate in range(small_circuit.num_gates):
+            assert profile.edge_weight(gate) >= 1
+
+    def test_active_inputs_score_high(self, small_circuit):
+        """Primary inputs toggling every cycle out-score silent logic."""
+        stim = RandomStimulus(
+            small_circuit, num_cycles=20, seed=2, activity=1.0
+        )
+        profile = profile_activity(small_circuit, stimulus=stim)
+        pi_activity = min(
+            profile.changes[pi] for pi in small_circuit.primary_inputs
+        )
+        assert pi_activity >= 19  # one change per cycle (first cycle may hold)
+
+    def test_rejects_too_few_cycles(self, small_circuit):
+        with pytest.raises(SimulationError, match="2 cycles"):
+            profile_activity(small_circuit, num_cycles=1)
+
+    def test_counts_equal_kernel_trace(self, s27):
+        """Profile counts == number of output-change events per gate."""
+        from repro.sim import Trace
+
+        stim = RandomStimulus(s27, num_cycles=15, seed=4)
+        trace = Trace(s27)  # watch everything
+        SequentialSimulator(s27, stim, trace=trace).run()
+        profile = profile_activity(s27, stimulus=stim)
+        for gate in range(s27.num_gates):
+            assert profile.changes[gate] == len(trace.changes(gate))
+
+
+class TestActivityMultilevel:
+    def test_valid_partition(self, medium_circuit):
+        p = ActivityMultilevelPartitioner(seed=3)
+        a = p.partition(medium_circuit, 4)
+        a.validate()
+        assert p.last_profile is not None
+
+    def test_registry_name(self, medium_circuit):
+        p = get_partitioner("ActivityML", seed=3)
+        a = p.partition(medium_circuit, 4)
+        assert a.algorithm == "ActivityML"
+
+    def test_precomputed_profile_used(self, medium_circuit):
+        profile = profile_activity(medium_circuit, num_cycles=8, seed=9)
+        p = ActivityMultilevelPartitioner(seed=3, profile=profile)
+        p.partition(medium_circuit, 4)
+        assert p.last_profile is profile
+
+    def test_foreign_profile_replaced(self, medium_circuit, small_circuit):
+        foreign = profile_activity(small_circuit, num_cycles=8, seed=9)
+        p = ActivityMultilevelPartitioner(seed=3, profile=foreign)
+        p.partition(medium_circuit, 4)
+        assert p.last_profile is not foreign
+
+    def test_oracle_holds(self, medium_circuit):
+        stim = RandomStimulus(medium_circuit, num_cycles=15, seed=7)
+        seq = SequentialSimulator(medium_circuit, stim).run()
+        a = ActivityMultilevelPartitioner(seed=3).partition(medium_circuit, 4)
+        tw = TimeWarpSimulator(
+            medium_circuit, a, stim, VirtualMachine(num_nodes=4)
+        ).run()
+        assert tw.final_values == seq.final_values
+
+    def test_reduces_weighted_traffic(self, medium_circuit):
+        """Activity weighting cuts *actual* messages vs plain multilevel
+        on the profiled workload (the §6 hypothesis)."""
+        stim = RandomStimulus(medium_circuit, num_cycles=30, seed=7)
+        profile = profile_activity(medium_circuit, stimulus=stim)
+        plain = get_partitioner("Multilevel", seed=3).partition(
+            medium_circuit, 6
+        )
+        weighted = ActivityMultilevelPartitioner(
+            seed=3, profile=profile
+        ).partition(medium_circuit, 6)
+
+        def traffic(assignment):
+            total = 0
+            for u, v in medium_circuit.edges():
+                if assignment[u] != assignment[v]:
+                    total += profile.changes[u]
+            return total
+
+        assert traffic(weighted) <= traffic(plain)

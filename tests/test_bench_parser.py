@@ -1,0 +1,111 @@
+"""Unit tests for the ISCAS'89 .bench reader/writer."""
+
+import pytest
+
+from repro.circuit import (
+    GateType,
+    GeneratorSpec,
+    generate_circuit,
+    parse_bench,
+    parse_bench_file,
+    write_bench,
+)
+from repro.errors import BenchParseError
+
+
+class TestParsing:
+    def test_comments_and_blank_lines_ignored(self):
+        c = parse_bench("# hi\n\nINPUT(a)\n  # more\nb = NOT(a)\nOUTPUT(b)\n")
+        assert c.num_gates == 2
+
+    def test_gate_types_mapped(self):
+        src = "INPUT(a)\nINPUT(b)\n"
+        src += "".join(
+            f"g{i} = {op}(a, b)\n"
+            for i, op in enumerate(["AND", "NAND", "OR", "NOR", "XOR", "XNOR"])
+        )
+        src += "h = NOT(a)\nk = BUFF(b)\nf = DFF(h)\nOUTPUT(g0)\n"
+        # give every gate a fanout or output so nothing is rejected later
+        c = parse_bench(src)
+        assert c.gates[c.index_of("k")].gate_type is GateType.BUF
+        assert c.gates[c.index_of("f")].gate_type is GateType.DFF
+
+    def test_forward_reference(self):
+        c = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(z)\nz = BUF(a)\n")
+        assert c.fanin(c.index_of("y")) == [c.index_of("z")]
+
+    def test_output_before_definition(self):
+        c = parse_bench("OUTPUT(y)\nINPUT(a)\ny = NOT(a)\n")
+        assert c.primary_outputs == [c.index_of("y")]
+
+    def test_case_insensitive_keywords(self):
+        c = parse_bench("input(a)\noutput(y)\ny = not(a)\n")
+        assert len(c.primary_inputs) == 1
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "src, message",
+        [
+            ("INPUT(a)\nINPUT(a)\n", "duplicate"),
+            ("INPUT(a)\ny = FROB(a)\n", "unknown gate type"),
+            ("INPUT(a)\ny = NOT()\nOUTPUT(y)", "no inputs"),
+            ("INPUT(a)\ny = NOT(q)\nOUTPUT(y)", "undefined"),
+            ("OUTPUT(nope)\nINPUT(a)\ny=NOT(a)", "never defined"),
+            ("INPUT(a)\nwhat is this line\n", "unrecognised"),
+            ("INPUT(a)\na = NOT(a)\n", "duplicate definition"),
+        ],
+    )
+    def test_malformed_input_raises(self, src, message):
+        with pytest.raises(BenchParseError, match=message):
+            parse_bench(src)
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_bench("INPUT(a)\nbogus line here\n")
+        except BenchParseError as err:
+            assert err.line_no == 2
+        else:  # pragma: no cover
+            pytest.fail("expected BenchParseError")
+
+
+class TestRoundTrip:
+    def test_s27_round_trip(self, s27):
+        text = write_bench(s27, header=["round trip"])
+        again = parse_bench(text, name="s27")
+        assert again.num_gates == s27.num_gates
+        assert again.num_edges == s27.num_edges
+        assert sorted(
+            again.gates[i].name for i in again.primary_outputs
+        ) == sorted(s27.gates[i].name for i in s27.primary_outputs)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_generated_circuit_round_trip(self, seed):
+        spec = GeneratorSpec(
+            name="rt", num_inputs=4, num_outputs=4, num_gates=60,
+            num_dffs=5, depth=5, seed=seed,
+        )
+        c = generate_circuit(spec)
+        again = parse_bench(write_bench(c))
+        assert again.num_gates == c.num_gates
+        assert again.num_edges == c.num_edges
+        # same adjacency by names
+        for g1 in c.gates:
+            g2 = again.gates[again.index_of(g1.name)]
+            assert g1.gate_type == g2.gate_type
+            assert [c.gates[d].name for d in g1.fanin] == [
+                again.gates[d].name for d in g2.fanin
+            ]
+
+    def test_file_round_trip(self, tmp_path, s27):
+        path = tmp_path / "s27.bench"
+        path.write_text(write_bench(s27))
+        again = parse_bench_file(path)
+        assert again.name == "s27"
+        assert again.num_gates == s27.num_gates
+
+    def test_write_requires_frozen(self):
+        from repro.circuit import CircuitGraph
+
+        with pytest.raises(BenchParseError, match="freeze"):
+            write_bench(CircuitGraph())

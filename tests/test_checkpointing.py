@@ -1,0 +1,147 @@
+"""Tests for periodic checkpointing with coast-forward."""
+
+import pytest
+
+from repro.circuit.netlists import load_s27
+from repro.errors import ConfigError, SimulationError
+from repro.partition import get_partitioner
+from repro.sim import RandomStimulus, SequentialSimulator
+from repro.sim.event import SIG
+from repro.warped import TimeWarpSimulator, VirtualMachine
+from repro.warped.lp import LogicalProcess
+from repro.warped.messages import Message
+
+
+def uid_gen():
+    counter = [0]
+
+    def next_uid():
+        counter[0] += 1
+        return counter[0]
+
+    return next_uid
+
+
+@pytest.fixture()
+def chain_lp():
+    from repro.circuit import parse_bench
+
+    c = parse_bench(
+        "INPUT(a)\nINPUT(b)\ng = AND(a, b)\nq = NOT(g)\nOUTPUT(q)\n"
+    )
+    g = c.index_of("g")
+    return c, LogicalProcess(c.gates[g], node=0, checkpoint_interval=2)
+
+
+class TestLpCheckpointMode:
+    def test_snapshots_taken_at_interval(self, chain_lp):
+        c, lp = chain_lp
+        a, b = c.index_of("a"), c.index_of("b")
+        nxt = uid_gen()
+        assert len(lp.checkpoints) == 1  # the initial base snapshot
+        lp.process(Message(1, SIG, a, 0, 1, lp.gate.index, 1), nxt)
+        assert len(lp.checkpoints) == 1
+        lp.process(Message(2, SIG, b, 0, 1, lp.gate.index, 2), nxt)
+        assert len(lp.checkpoints) == 2  # interval 2 reached
+
+    def test_rollback_restores_through_coast(self, chain_lp):
+        c, lp = chain_lp
+        a, b = c.index_of("a"), c.index_of("b")
+        nxt = uid_gen()
+        history = [
+            Message(1, SIG, a, 0, 1, lp.gate.index, 1),
+            Message(2, SIG, b, 0, 1, lp.gate.index, 2),
+            Message(3, SIG, a, 1, 0, lp.gate.index, 3),
+            Message(4, SIG, b, 1, 0, lp.gate.index, 4),
+            Message(5, SIG, a, 2, 1, lp.gate.index, 5),
+        ]
+        for msg in history:
+            lp.process(msg, nxt)
+        state_before = (dict(lp.input_copy), lp.output_value)
+        # roll back past the last two, then replay: state must match
+        undone, coasted = lp.rollback_to((4, SIG, b, 1))
+        assert [r.msg.uid for r in undone] == [4, 5]
+        assert coasted >= 0
+        for msg in history[3:]:
+            lp.process(msg, nxt)
+        assert (dict(lp.input_copy), lp.output_value) == state_before
+
+    def test_rollback_to_requires_checkpoint_mode(self):
+        circuit = load_s27()
+        lp = LogicalProcess(circuit.gates[circuit.index_of("G9")], node=0)
+        with pytest.raises(SimulationError, match="checkpoint mode"):
+            lp.rollback_to((0, SIG, 0, 0))
+
+    def test_undo_info_not_needed_in_checkpoint_mode(self, chain_lp):
+        c, lp = chain_lp
+        a = c.index_of("a")
+        nxt = uid_gen()
+        record = lp.process(Message(1, SIG, a, 0, 1, lp.gate.index, 1), nxt)
+        # incremental undo info is still recorded (harmless), but the
+        # checkpoint path never consumes it
+        undone, _ = lp.rollback_to((1, SIG, a, 0))
+        assert undone[0] is record
+        assert lp.last_key[0] == -1
+
+    def test_fossil_collect_keeps_base_snapshot(self, chain_lp):
+        c, lp = chain_lp
+        a, b = c.index_of("a"), c.index_of("b")
+        nxt = uid_gen()
+        values = [(1, a, 1), (2, b, 1), (3, a, 0), (4, b, 0), (5, a, 1)]
+        for t, src, v in values:
+            lp.process(Message(t, SIG, src, t, v, lp.gate.index, t), nxt)
+        lp.fossil_collect(4)
+        assert lp.checkpoints[0][0][0] <= 4
+        # rollback to a post-GVT key still works
+        undone, _ = lp.rollback_to((5, SIG, a, 5))
+        assert len(undone) == 1
+
+
+class TestKernelCheckpointMode:
+    @pytest.mark.parametrize("interval", [1, 4, 32])
+    def test_oracle(self, medium_circuit, interval):
+        stim = RandomStimulus(medium_circuit, num_cycles=15, seed=7)
+        seq = SequentialSimulator(medium_circuit, stim).run()
+        assignment = get_partitioner("Cluster", seed=3).partition(
+            medium_circuit, 4
+        )
+        tw = TimeWarpSimulator(
+            medium_circuit, assignment, stim,
+            VirtualMachine(num_nodes=4, checkpoint_interval=interval),
+        ).run()
+        assert tw.final_values == seq.final_values
+
+    def test_combined_with_lazy_and_window(self, medium_circuit):
+        stim = RandomStimulus(medium_circuit, num_cycles=15, seed=7)
+        seq = SequentialSimulator(medium_circuit, stim).run()
+        assignment = get_partitioner("Multilevel", seed=3).partition(
+            medium_circuit, 4
+        )
+        tw = TimeWarpSimulator(
+            medium_circuit, assignment, stim,
+            VirtualMachine(
+                num_nodes=4, checkpoint_interval=8,
+                cancellation="lazy", optimism_window=50,
+            ),
+        ).run()
+        assert tw.final_values == seq.final_values
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError, match="checkpoint_interval"):
+            VirtualMachine(num_nodes=2, checkpoint_interval=0)
+
+    def test_deterministic(self, medium_circuit):
+        stim = RandomStimulus(medium_circuit, num_cycles=10, seed=7)
+        assignment = get_partitioner("Random", seed=3).partition(
+            medium_circuit, 3
+        )
+
+        def run():
+            return TimeWarpSimulator(
+                medium_circuit, assignment, stim,
+                VirtualMachine(num_nodes=3, checkpoint_interval=4),
+            ).run()
+
+        a, b = run(), run()
+        assert a.execution_time == b.execution_time
+        assert a.rollbacks == b.rollbacks

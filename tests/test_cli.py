@@ -1,0 +1,41 @@
+"""CLI smoke tests (tiny scales so they stay fast)."""
+
+import pytest
+
+from repro.cli import main
+
+TINY = ["--scale", "0.03", "--cycles", "10"]
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1", *TINY]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "s15850" in out
+
+    def test_run_reports_speedup(self, capsys):
+        assert main([
+            "run", *TINY, "--circuit", "s9234",
+            "--algorithm", "Multilevel", "--nodes", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "speedup over sequential" in out
+        assert "Multilevel x4" in out
+
+    def test_partition_lists_all_algorithms(self, capsys):
+        assert main(["partition", *TINY, "--circuit", "s5378", "--k", "4"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Random", "Multilevel", "ConePartition"):
+            assert name in out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5", *TINY]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_rejects_unknown_circuit(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--circuit", "s404"])

@@ -1,0 +1,118 @@
+"""Tests for the conservative (CMB) kernel."""
+
+import pytest
+
+from repro.conservative import ConservativeSimulator
+from repro.errors import SimulationError
+from repro.partition import get_partitioner
+from repro.sim import RandomStimulus, SequentialSimulator
+from repro.warped import TimeWarpSimulator, VirtualMachine
+
+
+def run_cmb(circuit, stim, k, *, name="Multilevel", **kwargs):
+    assignment = get_partitioner(name, seed=3).partition(circuit, k)
+    machine = VirtualMachine(num_nodes=k)
+    return ConservativeSimulator(
+        circuit, assignment, stim, machine, **kwargs
+    ).run()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "name",
+        ["Random", "DFS", "Cluster", "Topological", "Multilevel",
+         "ConePartition"],
+    )
+    def test_matches_sequential(self, medium_circuit, name):
+        stim = RandomStimulus(medium_circuit, num_cycles=12, seed=7)
+        seq = SequentialSimulator(medium_circuit, stim).run()
+        result = run_cmb(medium_circuit, stim, 4, name=name)
+        assert result.final_values == seq.final_values
+
+    def test_single_node_needs_no_nulls(self, small_circuit):
+        stim = RandomStimulus(small_circuit, num_cycles=10, seed=1)
+        result = run_cmb(small_circuit, stim, 1)
+        assert result.null_messages == 0
+        assert result.app_messages == 0
+
+    def test_matches_with_nonunit_delays(self):
+        from repro.circuit import GeneratorSpec, generate_circuit
+
+        spec = GeneratorSpec(
+            "typed", 5, 5, 120, 8, depth=7, seed=4, delay_model="typed"
+        )
+        circuit = generate_circuit(spec)
+        stim = RandomStimulus(circuit, num_cycles=15, seed=2)
+        seq = SequentialSimulator(circuit, stim).run()
+        result = run_cmb(circuit, stim, 4)
+        assert result.final_values == seq.final_values
+
+    def test_matches_time_warp(self, medium_circuit):
+        stim = RandomStimulus(medium_circuit, num_cycles=12, seed=7)
+        assignment = get_partitioner("Cluster", seed=3).partition(
+            medium_circuit, 4
+        )
+        cmb = ConservativeSimulator(
+            medium_circuit, assignment, stim, VirtualMachine(num_nodes=4)
+        ).run()
+        tw = TimeWarpSimulator(
+            medium_circuit, assignment, stim, VirtualMachine(num_nodes=4)
+        ).run()
+        assert cmb.final_values == tw.final_values
+
+
+class TestBehaviour:
+    def test_nulls_flow_on_multiple_nodes(self, medium_circuit):
+        stim = RandomStimulus(medium_circuit, num_cycles=12, seed=7)
+        result = run_cmb(medium_circuit, stim, 4)
+        assert result.null_messages > 0
+        assert result.null_rounds > 0
+
+    def test_deterministic(self, medium_circuit):
+        stim = RandomStimulus(medium_circuit, num_cycles=10, seed=7)
+        a = run_cmb(medium_circuit, stim, 3)
+        b = run_cmb(medium_circuit, stim, 3)
+        assert a.execution_time == b.execution_time
+        assert a.null_messages == b.null_messages
+
+    def test_slower_than_time_warp_at_gate_lookahead(self, medium_circuit):
+        """The classic CMB-vs-optimistic result at lookahead ~ 1 delay."""
+        stim = RandomStimulus(medium_circuit, num_cycles=15, seed=7)
+        assignment = get_partitioner("Multilevel", seed=3).partition(
+            medium_circuit, 4
+        )
+        cmb = ConservativeSimulator(
+            medium_circuit, assignment, stim, VirtualMachine(num_nodes=4)
+        ).run()
+        tw = TimeWarpSimulator(
+            medium_circuit, assignment, stim, VirtualMachine(num_nodes=4)
+        ).run()
+        assert cmb.execution_time > tw.execution_time
+        assert cmb.null_messages > cmb.app_messages
+
+    def test_summary_mentions_nulls(self, small_circuit):
+        stim = RandomStimulus(small_circuit, num_cycles=8, seed=1)
+        result = run_cmb(small_circuit, stim, 2)
+        assert "null=" in result.summary()
+
+
+class TestConfig:
+    def test_k_mismatch_rejected(self, s27):
+        stim = RandomStimulus(s27, num_cycles=5, seed=1)
+        assignment = get_partitioner("Random", seed=3).partition(s27, 2)
+        with pytest.raises(SimulationError, match="machine has"):
+            ConservativeSimulator(
+                s27, assignment, stim, VirtualMachine(num_nodes=3)
+            )
+
+    def test_null_round_budget(self, medium_circuit):
+        stim = RandomStimulus(medium_circuit, num_cycles=12, seed=7)
+        assignment = get_partitioner("Random", seed=3).partition(
+            medium_circuit, 4
+        )
+        sim = ConservativeSimulator(
+            medium_circuit, assignment, stim,
+            VirtualMachine(num_nodes=4), max_null_rounds=1,
+        )
+        with pytest.raises(SimulationError, match="null-message budget"):
+            sim.run()

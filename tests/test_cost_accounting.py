@@ -1,0 +1,102 @@
+"""Wall-clock accounting identities of the virtual machine.
+
+The modelled costs must compose sensibly: scaling a cost component
+scales the corresponding share of execution time, the slowest node IS
+the execution time, and zero-cost components are legal.
+"""
+
+import pytest
+
+from repro.partition import get_partitioner
+from repro.sim import RandomStimulus, SequentialSimulator
+from repro.sim.cost_model import SequentialCostModel
+from repro.warped import (
+    TimeWarpCostModel,
+    TimeWarpSimulator,
+    UniformNetwork,
+    VirtualMachine,
+)
+
+
+@pytest.fixture(scope="module")
+def setup(medium_circuit):
+    stim = RandomStimulus(medium_circuit, num_cycles=15, seed=4)
+    assignment = get_partitioner("Multilevel", seed=3).partition(
+        medium_circuit, 4
+    )
+    return medium_circuit, stim, assignment
+
+
+def run(setup, **cost_kwargs):
+    circuit, stim, assignment = setup
+    machine = VirtualMachine(
+        num_nodes=4, cost_model=TimeWarpCostModel(**cost_kwargs)
+    )
+    return TimeWarpSimulator(circuit, assignment, stim, machine).run()
+
+
+class TestSequentialAccounting:
+    def test_time_is_events_times_cost(self, medium_circuit):
+        stim = RandomStimulus(medium_circuit, num_cycles=10, seed=4)
+        for cost in (1e-4, 5e-4):
+            result = SequentialSimulator(
+                medium_circuit, stim,
+                cost_model=SequentialCostModel(event_cost=cost),
+            ).run()
+            assert result.execution_time == pytest.approx(
+                result.events_processed * cost
+            )
+
+
+class TestTimeWarpAccounting:
+    def test_execution_time_is_slowest_node(self, setup):
+        result = run(setup)
+        assert result.execution_time == max(
+            stats.wall_time for stats in result.node_stats
+        )
+
+    def test_event_cost_dominates_scaling(self, setup):
+        cheap = run(setup, event_cost=100e-6)
+        costly = run(setup, event_cost=400e-6)
+        # Not exactly 4x (messaging constants, changed interleavings),
+        # but the scaling must be strong and monotone.
+        ratio = costly.execution_time / cheap.execution_time
+        assert 1.5 < ratio < 8.0
+
+    def test_zero_overheads_legal_and_fast(self, setup):
+        free_comm = run(
+            setup, send_overhead=0.0, recv_overhead=0.0, gvt_cost=0.0
+        )
+        priced = run(setup)
+        assert free_comm.execution_time < priced.execution_time
+
+    def test_busy_decomposition_bounded_by_components(self, setup):
+        result = run(setup)
+        cost = TimeWarpCostModel()
+        for stats in result.node_stats:
+            # busy time is at least the committed event work...
+            floor = stats.events_processed * 0  # events include re-runs
+            assert stats.busy_time >= floor
+            # ...and can't exceed every cost component applied maximally
+            ceiling = (
+                stats.events_processed * cost.event_cost
+                + stats.events_rolled_back * cost.rollback_event_cost
+                + (stats.messages_sent_remote + stats.anti_messages_sent)
+                * cost.send_overhead
+                + result.gvt_rounds * cost.gvt_cost
+                + result.app_messages * cost.recv_overhead
+                + result.anti_messages * cost.recv_overhead
+            )
+            assert stats.busy_time <= ceiling + 1e-6
+
+    def test_network_latency_slows_without_adding_cpu(self, setup):
+        circuit, stim, assignment = setup
+        fast = TimeWarpSimulator(
+            circuit, assignment, stim,
+            VirtualMachine(num_nodes=4, network=UniformNetwork(1e-6)),
+        ).run()
+        slow = TimeWarpSimulator(
+            circuit, assignment, stim,
+            VirtualMachine(num_nodes=4, network=UniformNetwork(2e-3)),
+        ).run()
+        assert slow.execution_time > fast.execution_time

@@ -1,0 +1,146 @@
+"""Tests for the related-work partitioners (Section 2 survey)."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition import edge_cut, get_partitioner, load_imbalance
+from repro.partition.extra import EXTRA_PARTITIONERS
+from repro.partition.extra.corolla import fanout_free_regions
+from repro.partition.extra.strings import extract_strings
+from repro.partition.registry import all_partitioners
+
+EXTRA_NAMES = sorted(EXTRA_PARTITIONERS)
+
+
+class TestRegistry:
+    def test_all_partitioners_superset(self):
+        names = all_partitioners()
+        assert set(EXTRA_PARTITIONERS) <= set(names)
+        assert "Multilevel" in names
+        assert len(names) == 12
+
+    def test_get_partitioner_resolves_extras(self):
+        p = get_partitioner("Spectral", seed=1)
+        assert p.name == "Spectral"
+
+    def test_unknown_lists_all(self):
+        with pytest.raises(PartitionError, match="Spectral"):
+            get_partitioner("Quantum")
+
+
+@pytest.mark.parametrize("name", EXTRA_NAMES)
+@pytest.mark.parametrize("k", [1, 3, 6])
+class TestExtraInvariants:
+    def test_valid_partition(self, name, k, medium_circuit):
+        a = get_partitioner(name, seed=9).partition(medium_circuit, k)
+        a.validate()
+        assert all(size > 0 for size in a.sizes())
+
+    def test_deterministic(self, name, k, medium_circuit):
+        a = get_partitioner(name, seed=9).partition(medium_circuit, k)
+        b = get_partitioner(name, seed=9).partition(medium_circuit, k)
+        assert a.assignment == b.assignment
+
+
+@pytest.mark.parametrize("name", EXTRA_NAMES)
+class TestExtraBalance:
+    def test_imbalance_bounded(self, name, medium_circuit):
+        a = get_partitioner(name, seed=9).partition(medium_circuit, 4)
+        assert load_imbalance(a) <= 1.35
+
+
+class TestStringDecomposition:
+    def test_strings_cover_all_gates(self, medium_circuit):
+        strings = extract_strings(medium_circuit)
+        flat = sorted(g for chain in strings for g in chain)
+        assert flat == list(range(medium_circuit.num_gates))
+
+    def test_chains_follow_edges(self, medium_circuit):
+        for chain in extract_strings(medium_circuit):
+            for u, v in zip(chain, chain[1:]):
+                assert v in medium_circuit.fanout(u)
+                assert set(medium_circuit.fanout(u)) == {v}
+                assert set(medium_circuit.fanin(v)) == {u}
+
+    def test_inverter_chain_is_one_string(self):
+        from repro.circuit import parse_bench
+
+        c = parse_bench(
+            "INPUT(a)\nb = NOT(a)\nc = NOT(b)\nd = NOT(c)\nOUTPUT(d)\n"
+        )
+        strings = extract_strings(c)
+        assert max(len(s) for s in strings) == c.num_gates
+
+
+class TestCorollaRegions:
+    def test_regions_cover_all_gates(self, medium_circuit):
+        roots = fanout_free_regions(medium_circuit)
+        assert len(roots) == medium_circuit.num_gates
+        # every root is its own root (idempotent mapping)
+        for root in set(roots):
+            assert roots[root] == root
+
+    def test_single_sink_gate_joins_sink_region(self):
+        from repro.circuit import parse_bench
+
+        c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nx = NOT(a)\ny = AND(x, b)\nOUTPUT(y)\n"
+        )
+        roots = fanout_free_regions(c)
+        assert roots[c.index_of("x")] == roots[c.index_of("y")]
+
+    def test_multi_sink_gate_roots_itself(self):
+        from repro.circuit import parse_bench
+
+        c = parse_bench(
+            "INPUT(a)\nx = NOT(a)\np = BUF(x)\nq = NOT(x)\n"
+            "OUTPUT(p)\nOUTPUT(q)\n"
+        )
+        roots = fanout_free_regions(c)
+        x = c.index_of("x")
+        assert roots[x] == x
+
+
+class TestRelativeQuality:
+    def test_spectral_and_multilevel_lead_on_cut(self, medium_circuit):
+        cuts = {
+            name: edge_cut(get_partitioner(name, seed=4).partition(
+                medium_circuit, 6
+            ))
+            for name in ("Random", "Spectral", "Multilevel", "Corolla")
+        }
+        assert cuts["Spectral"] < cuts["Random"]
+        assert cuts["Multilevel"] < cuts["Random"]
+        assert cuts["Corolla"] < cuts["Random"]
+
+    def test_cpp_preserves_concurrency(self, medium_circuit):
+        from repro.partition.metrics import concurrency_score
+
+        cpp = get_partitioner("CPP", seed=4).partition(medium_circuit, 6)
+        assert concurrency_score(cpp) > 0.95
+
+    def test_annealing_beats_its_random_start(self, medium_circuit):
+        annealed = get_partitioner("Annealing", seed=4).partition(
+            medium_circuit, 6
+        )
+        random_part = get_partitioner("Random", seed=4).partition(
+            medium_circuit, 6
+        )
+        assert edge_cut(annealed) < edge_cut(random_part)
+
+
+class TestExtraOracle:
+    """The Time Warp oracle holds for the extra strategies too."""
+
+    @pytest.mark.parametrize("name", EXTRA_NAMES)
+    def test_matches_sequential(self, small_circuit, name):
+        from repro.sim import RandomStimulus, SequentialSimulator
+        from repro.warped import TimeWarpSimulator, VirtualMachine
+
+        stim = RandomStimulus(small_circuit, num_cycles=12, seed=5)
+        seq = SequentialSimulator(small_circuit, stim).run()
+        a = get_partitioner(name, seed=5).partition(small_circuit, 3)
+        tw = TimeWarpSimulator(
+            small_circuit, a, stim, VirtualMachine(num_nodes=3)
+        ).run()
+        assert tw.final_values == seq.final_values

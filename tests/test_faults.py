@@ -1,0 +1,224 @@
+"""Tests for stuck-at fault simulation."""
+
+import pytest
+
+from repro.circuit import parse_bench, ripple_carry_adder
+from repro.circuit.netlists import load_s27
+from repro.errors import SimulationError
+from repro.faults import Fault, FaultSimulator, all_single_stuck_at
+from repro.faults.model import FaultUniverse
+from repro.sim import RandomStimulus, SequentialSimulator, VectorStimulus
+
+
+def and_not():
+    return parse_bench(
+        "INPUT(a)\nINPUT(b)\ng = AND(a, b)\ny = NOT(g)\nOUTPUT(y)\n"
+    )
+
+
+class TestForcedValues:
+    def test_forced_gate_ignores_inputs(self):
+        c = and_not()
+        stim = VectorStimulus(c, [{"a": 1, "b": 1}] * 3)
+        result = SequentialSimulator(
+            c, stim, forced={c.index_of("g"): 0}
+        ).run()
+        assert result.value_of(c, "g") == 0
+        assert result.value_of(c, "y") == 1
+
+    def test_forced_primary_input_ignores_stimulus(self):
+        c = and_not()
+        stim = VectorStimulus(c, [{"a": 0, "b": 1}] * 3)
+        result = SequentialSimulator(
+            c, stim, forced={c.index_of("a"): 1}
+        ).run()
+        assert result.value_of(c, "g") == 1
+
+    def test_forced_dff_ignores_clock(self, s27):
+        ff = s27.dffs[0]
+        stim = RandomStimulus(s27, num_cycles=15, seed=1)
+        result = SequentialSimulator(s27, stim, forced={ff: 1}).run()
+        assert result.final_values[ff] == 1
+
+    def test_validation(self):
+        c = and_not()
+        stim = VectorStimulus(c, [{"a": 1}])
+        with pytest.raises(SimulationError, match="out of range"):
+            SequentialSimulator(c, stim, forced={99: 1})
+        with pytest.raises(SimulationError, match="0 or 1"):
+            SequentialSimulator(c, stim, forced={0: 2})
+
+
+class TestFaultModel:
+    def test_universe_size(self):
+        c = and_not()
+        universe = all_single_stuck_at(c)
+        assert len(universe) == 2 * c.num_gates
+
+    def test_exclude_inputs(self):
+        c = and_not()
+        universe = all_single_stuck_at(c, include_inputs=False)
+        assert len(universe) == 2 * 2  # g and y only
+
+    def test_fault_describe(self):
+        c = and_not()
+        fault = Fault(c.index_of("g"), 1)
+        assert fault.describe(c) == "g/SA1"
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(SimulationError):
+            Fault(0, 2)
+
+    def test_universe_validates_range(self):
+        c = and_not()
+        with pytest.raises(SimulationError, match="out of range"):
+            FaultUniverse(c, [Fault(99, 0)])
+
+
+class TestFaultSimulation:
+    def test_output_fault_always_detected_with_activity(self):
+        c = and_not()
+        vectors = [{"a": 1, "b": 1}, {"a": 0, "b": 1}] * 3
+        sim = FaultSimulator(c, VectorStimulus(c, vectors, period=50))
+        y = c.index_of("y")
+        assert sim.is_detected(Fault(y, 0))
+        assert sim.is_detected(Fault(y, 1))
+
+    def test_matching_value_fault_undetected_with_constant_vector(self):
+        # a=1,b=1 forever: g is 1; g/SA1 is indistinguishable
+        c = and_not()
+        sim = FaultSimulator(
+            c, VectorStimulus(c, [{"a": 1, "b": 1}] * 4, period=50)
+        )
+        assert not sim.is_detected(Fault(c.index_of("g"), 1))
+        assert sim.is_detected(Fault(c.index_of("g"), 0))
+
+    def test_dead_logic_faults_undetected(self):
+        c = parse_bench(
+            "INPUT(a)\ny = NOT(a)\ndead = BUFF(a)\nz = NOT(dead)\n"
+            "OUTPUT(y)\n"
+        )
+        vectors = [{"a": v} for v in (0, 1, 0, 1)]
+        sim = FaultSimulator(c, VectorStimulus(c, vectors, period=50))
+        coverage = sim.run(
+            FaultUniverse(c, [Fault(c.index_of("dead"), 0),
+                              Fault(c.index_of("z"), 1)])
+        )
+        assert coverage.coverage == 0.0
+
+    def test_adder_coverage_high_with_exhaustive_vectors(self):
+        width = 2
+        c = ripple_carry_adder(width)
+        vectors = []
+        for a in range(4):
+            for b in range(4):
+                for cin in (0, 1):
+                    vec = {f"a{i}": (a >> i) & 1 for i in range(width)}
+                    vec.update({f"b{i}": (b >> i) & 1 for i in range(width)})
+                    vec["cin"] = cin
+                    vectors.append(vec)
+        sim = FaultSimulator(c, VectorStimulus(c, vectors, period=50))
+        coverage = sim.run(all_single_stuck_at(c))
+        # exhaustive vectors on an irredundant adder detect everything
+        assert coverage.coverage == 1.0, [
+            f.describe(c) for f in coverage.undetected
+        ]
+
+    def test_s27_steering_vectors_reach_good_coverage(self):
+        """s27's FSM has an absorbing state (G7=1 locks G12=0 and pins
+        the output) that free-running random vectors enter within a few
+        cycles; coverage needs steering vectors that hold G1=0, G2=1 to
+        keep the state machine alive, plus a locking tail to exercise
+        the absorbing path itself."""
+        c = load_s27()
+        vectors = []
+        for _ in range(6):
+            for g0 in (0, 1):
+                for g3 in (0, 1):
+                    vectors.append({"G0": g0, "G1": 0, "G2": 1, "G3": g3})
+        vectors.append({"G0": 1, "G1": 1, "G2": 0, "G3": 1})
+        vectors.append({"G0": 0, "G1": 1, "G2": 0, "G3": 0})
+        coverage = FaultSimulator(
+            c, VectorStimulus(c, vectors, period=20)
+        ).run(all_single_stuck_at(c))
+        assert 0.6 < coverage.coverage <= 1.0
+        assert "faults detected" in coverage.summary()
+
+    def test_s27_random_vectors_hit_the_absorbing_state(self):
+        """Free-running random stimulus locks the FSM: only the faults
+        observable through the locked output survive — coverage is low
+        but stable (a property of the circuit, not the simulator)."""
+        c = load_s27()
+        stim = RandomStimulus(c, num_cycles=30, seed=5, activity=0.8)
+        coverage = FaultSimulator(c, stim).run(all_single_stuck_at(c))
+        assert 0.1 < coverage.coverage < 0.6
+
+    def test_more_vectors_never_lower_coverage(self):
+        c = load_s27()
+        universe = all_single_stuck_at(c)
+        few = FaultSimulator(
+            c, RandomStimulus(c, num_cycles=4, seed=5)
+        ).run(universe)
+        many = FaultSimulator(
+            c, RandomStimulus(c, num_cycles=30, seed=5)
+        ).run(universe)
+        assert many.coverage >= few.coverage
+
+    def test_foreign_universe_rejected(self):
+        c1, c2 = and_not(), load_s27()
+        sim = FaultSimulator(
+            c1, VectorStimulus(c1, [{"a": 1, "b": 1}], period=50)
+        )
+        with pytest.raises(SimulationError, match="different circuit"):
+            sim.run(all_single_stuck_at(c2))
+
+
+class TestAtpg:
+    def test_reaches_full_coverage_on_adder(self):
+        from repro.circuit import ripple_carry_adder
+        from repro.faults import generate_tests
+
+        c = ripple_carry_adder(2)
+        result = generate_tests(
+            c, all_single_stuck_at(c), target_coverage=1.0, seed=1,
+            max_batches=16,
+        )
+        assert result.coverage == 1.0
+        assert result.vectors
+        # the generated set really does detect everything when replayed
+        sim = FaultSimulator(
+            c, VectorStimulus(c, result.vectors, period=50)
+        )
+        replay = sim.run(all_single_stuck_at(c))
+        assert replay.coverage == 1.0
+
+    def test_compaction_never_loses_coverage(self):
+        from repro.circuit import ripple_carry_adder
+        from repro.faults import generate_tests
+
+        c = ripple_carry_adder(2)
+        universe = all_single_stuck_at(c)
+        loose = generate_tests(c, universe, seed=2, compact=False)
+        tight = generate_tests(c, universe, seed=2, compact=True)
+        assert tight.coverage >= loose.coverage
+        assert len(tight.vectors) <= len(loose.vectors)
+
+    def test_budget_respected(self):
+        from repro.faults import generate_tests
+
+        c = load_s27()
+        result = generate_tests(
+            c, all_single_stuck_at(c), target_coverage=1.0,
+            max_batches=3, seed=3,
+        )
+        assert result.batches_tried <= 3
+        assert "coverage" in result.summary()
+
+    def test_validation(self):
+        from repro.faults import generate_tests
+
+        c1, c2 = and_not(), load_s27()
+        with pytest.raises(SimulationError, match="different circuit"):
+            generate_tests(c1, all_single_stuck_at(c2))
+        with pytest.raises(SimulationError, match="target_coverage"):
+            generate_tests(c1, all_single_stuck_at(c1), target_coverage=0)

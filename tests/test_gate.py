@@ -1,0 +1,109 @@
+"""Unit tests for ternary gate evaluation."""
+
+import pytest
+
+from repro.circuit.gate import (
+    FALSE,
+    TRUE,
+    UNKNOWN,
+    GateType,
+    evaluate_gate,
+    logic_not,
+)
+
+
+class TestLogicNot:
+    def test_inverts_binary(self):
+        assert logic_not(FALSE) == TRUE
+        assert logic_not(TRUE) == FALSE
+
+    def test_unknown_stays_unknown(self):
+        assert logic_not(UNKNOWN) == UNKNOWN
+
+
+class TestBinaryTruthTables:
+    @pytest.mark.parametrize(
+        "gate_type, table",
+        [
+            (GateType.AND, {(0, 0): 0, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+            (GateType.NAND, {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+            (GateType.OR, {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1}),
+            (GateType.NOR, {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 0}),
+            (GateType.XOR, {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+            (GateType.XNOR, {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+        ],
+    )
+    def test_two_input_tables(self, gate_type, table):
+        for inputs, expected in table.items():
+            assert evaluate_gate(gate_type, list(inputs)) == expected
+
+    def test_wide_and(self):
+        assert evaluate_gate(GateType.AND, [1, 1, 1, 1]) == TRUE
+        assert evaluate_gate(GateType.AND, [1, 1, 0, 1]) == FALSE
+
+    def test_wide_xor_is_parity(self):
+        assert evaluate_gate(GateType.XOR, [1, 1, 1]) == TRUE
+        assert evaluate_gate(GateType.XOR, [1, 1, 1, 1]) == FALSE
+
+
+class TestUnknownPropagation:
+    def test_controlling_value_dominates_unknown(self):
+        # AND with a 0 input is 0 even if another input is X.
+        assert evaluate_gate(GateType.AND, [FALSE, UNKNOWN]) == FALSE
+        assert evaluate_gate(GateType.NAND, [FALSE, UNKNOWN]) == TRUE
+        assert evaluate_gate(GateType.OR, [TRUE, UNKNOWN]) == TRUE
+        assert evaluate_gate(GateType.NOR, [TRUE, UNKNOWN]) == FALSE
+
+    def test_noncontrolling_with_unknown_is_unknown(self):
+        assert evaluate_gate(GateType.AND, [TRUE, UNKNOWN]) == UNKNOWN
+        assert evaluate_gate(GateType.OR, [FALSE, UNKNOWN]) == UNKNOWN
+
+    def test_xor_any_unknown_is_unknown(self):
+        assert evaluate_gate(GateType.XOR, [TRUE, UNKNOWN]) == UNKNOWN
+        assert evaluate_gate(GateType.XNOR, [UNKNOWN, FALSE]) == UNKNOWN
+
+
+class TestUnaryAndSequential:
+    def test_not(self):
+        assert evaluate_gate(GateType.NOT, [TRUE]) == FALSE
+
+    def test_buf_passthrough(self):
+        for v in (FALSE, TRUE, UNKNOWN):
+            assert evaluate_gate(GateType.BUF, [v]) == v
+
+    def test_dff_transparent_at_capture(self):
+        for v in (FALSE, TRUE, UNKNOWN):
+            assert evaluate_gate(GateType.DFF, [v]) == v
+
+
+class TestArityErrors:
+    def test_input_cannot_be_evaluated(self):
+        with pytest.raises(ValueError, match="stimulus"):
+            evaluate_gate(GateType.INPUT, [])
+
+    def test_not_rejects_two_inputs(self):
+        with pytest.raises(ValueError, match="NOT"):
+            evaluate_gate(GateType.NOT, [TRUE, FALSE])
+
+    def test_and_rejects_single_input(self):
+        with pytest.raises(ValueError, match="AND"):
+            evaluate_gate(GateType.AND, [TRUE])
+
+    def test_dff_rejects_two_inputs(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.DFF, [TRUE, FALSE])
+
+
+class TestGateTypeProperties:
+    def test_sequential_flag(self):
+        assert GateType.DFF.is_sequential
+        assert not GateType.AND.is_sequential
+
+    def test_source_flag(self):
+        assert GateType.INPUT.is_source
+        assert not GateType.DFF.is_source
+
+    def test_fanin_bounds(self):
+        assert GateType.INPUT.max_fanin == 0
+        assert GateType.AND.max_fanin is None
+        assert GateType.NOT.min_fanin == GateType.NOT.max_fanin == 1

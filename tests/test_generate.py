@@ -1,0 +1,91 @@
+"""Unit tests for the synthetic circuit generator and ISCAS'89 specs."""
+
+import pytest
+
+from repro.circuit import (
+    BENCHMARKS,
+    GeneratorSpec,
+    circuit_stats,
+    generate_circuit,
+    load_benchmark,
+    validate_circuit,
+)
+from repro.errors import ConfigError
+
+
+class TestSpecValidation:
+    def test_rejects_zero_inputs(self):
+        with pytest.raises(ConfigError):
+            GeneratorSpec("x", 0, 1, 10, 0)
+
+    def test_rejects_dffs_not_below_gates(self):
+        with pytest.raises(ConfigError):
+            GeneratorSpec("x", 2, 1, 10, 10)
+
+    def test_rejects_shallow_depth(self):
+        with pytest.raises(ConfigError):
+            GeneratorSpec("x", 2, 1, 10, 0, depth=1)
+
+    def test_rejects_bad_scale(self):
+        spec = GeneratorSpec("x", 4, 4, 100, 10)
+        with pytest.raises(ConfigError):
+            spec.scaled(0)
+
+
+class TestGeneratedStructure:
+    def test_counts_match_spec(self):
+        spec = GeneratorSpec("t", 9, 7, 200, 13, depth=9, seed=5)
+        stats = circuit_stats(generate_circuit(spec))
+        assert stats.num_inputs == 9
+        assert stats.num_outputs == 7
+        assert stats.num_gates == 200
+        assert stats.num_dffs == 13
+
+    def test_structurally_valid(self):
+        spec = GeneratorSpec("t", 5, 5, 150, 12, depth=8, seed=6)
+        validate_circuit(generate_circuit(spec))
+
+    def test_deterministic_for_same_seed(self):
+        spec = GeneratorSpec("t", 5, 5, 80, 6, seed=7)
+        a = generate_circuit(spec)
+        b = generate_circuit(spec)
+        assert [g.name for g in a.gates] == [g.name for g in b.gates]
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seed_differs(self):
+        a = generate_circuit(GeneratorSpec("t", 5, 5, 80, 6, seed=7))
+        b = generate_circuit(GeneratorSpec("t", 5, 5, 80, 6, seed=8))
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_no_dffless_spec_breaks(self):
+        spec = GeneratorSpec("t", 4, 3, 60, 0, depth=6, seed=9)
+        validate_circuit(generate_circuit(spec))
+
+    def test_depth_respected_roughly(self):
+        spec = GeneratorSpec("t", 6, 4, 300, 20, depth=12, seed=10)
+        stats = circuit_stats(generate_circuit(spec))
+        # dangler absorption can extend paths a little past the target
+        assert 12 <= stats.max_level <= 12 * 2
+
+
+class TestBenchmarks:
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_scaled_benchmarks_valid(self, name):
+        c = load_benchmark(name, scale=0.05)
+        validate_circuit(c)
+
+    def test_full_scale_matches_table1(self):
+        # Only the smallest circuit at full scale, to keep tests fast;
+        # the Table 1 bench covers all three.
+        stats = circuit_stats(load_benchmark("s5378"))
+        assert stats.table1_row() == ("s5378", 35, 2779, 49)
+        assert stats.num_dffs == 179
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ConfigError, match="s404040"):
+            load_benchmark("s404040")
+
+    def test_scaled_spec_name(self):
+        spec = BENCHMARKS["s9234"].generator_spec(scale=0.25)
+        assert spec.name == "s9234@0.25"
+        assert spec.num_gates == round(5597 * 0.25)

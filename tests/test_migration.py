@@ -1,0 +1,138 @@
+"""Tests for dynamic LP migration."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.partition import PartitionAssignment, get_partitioner
+from repro.sim import RandomStimulus, SequentialSimulator
+from repro.warped import TimeWarpSimulator, VirtualMachine
+from repro.warped.messages import Message
+from repro.warped.queues import NodeQueue
+from repro.sim.event import SIG
+
+
+class TestQueueExtraction:
+    def entry(self, uid, dest, t=1):
+        return Message(t, SIG, 0, uid, 1, dest, uid)
+
+    def test_extracts_only_requested_dests(self):
+        q = NodeQueue()
+        for uid, dest in ((1, 5), (2, 6), (3, 5), (4, 7)):
+            q.push(self.entry(uid, dest))
+        moved = q.extract_dests({5})
+        assert sorted(m.uid for m in moved) == [1, 3]
+        assert len(q) == 2
+        assert q.pop().uid in (2, 4)
+
+    def test_extraction_drops_annihilated_entries(self):
+        q = NodeQueue()
+        q.push(self.entry(1, 5))
+        q.push(self.entry(2, 5))
+        q.annihilate(1)
+        moved = q.extract_dests({5})
+        assert [m.uid for m in moved] == [2]
+
+    def test_remaining_queue_still_ordered(self):
+        q = NodeQueue()
+        for uid, t in ((1, 9), (2, 3), (3, 6)):
+            q.push(self.entry(uid, dest=8, t=t))
+        q.push(self.entry(4, dest=5, t=1))
+        q.extract_dests({5})
+        assert [q.pop().time for _ in range(3)] == [3, 6, 9]
+
+
+def imbalanced_partition(circuit, k):
+    """Deliberately skewed: 70% of gates on node 0."""
+    n = circuit.num_gates
+    cut = int(n * 0.7)
+    assignment = [0] * n
+    for i in range(cut, n):
+        assignment[i] = 1 + (i % (k - 1))
+    return PartitionAssignment(circuit, k, assignment, algorithm="skewed")
+
+
+class TestMigration:
+    def test_oracle_holds_with_migration(self, medium_circuit):
+        stim = RandomStimulus(medium_circuit, num_cycles=20, seed=2)
+        seq = SequentialSimulator(medium_circuit, stim).run()
+        assignment = imbalanced_partition(medium_circuit, 4)
+        result = TimeWarpSimulator(
+            medium_circuit, assignment, stim,
+            VirtualMachine(num_nodes=4, migration_threshold=1.5,
+                           gvt_interval=128),
+        ).run()
+        assert result.final_values == seq.final_values
+        assert result.migrations > 0
+
+    def test_migration_rescues_skewed_partition(self, medium_circuit):
+        stim = RandomStimulus(medium_circuit, num_cycles=25, seed=2)
+        assignment = imbalanced_partition(medium_circuit, 4)
+        static = TimeWarpSimulator(
+            medium_circuit, assignment, stim, VirtualMachine(num_nodes=4)
+        ).run()
+        dynamic = TimeWarpSimulator(
+            medium_circuit, assignment, stim,
+            VirtualMachine(num_nodes=4, migration_threshold=1.5,
+                           gvt_interval=256, migration_fraction=0.1),
+        ).run()
+        assert dynamic.final_values == static.final_values
+        assert dynamic.migrations > 0
+        assert dynamic.execution_time < static.execution_time
+
+    def test_no_migration_when_disabled(self, medium_circuit):
+        stim = RandomStimulus(medium_circuit, num_cycles=15, seed=2)
+        assignment = get_partitioner("Random", seed=3).partition(
+            medium_circuit, 4
+        )
+        result = TimeWarpSimulator(
+            medium_circuit, assignment, stim, VirtualMachine(num_nodes=4)
+        ).run()
+        assert result.migrations == 0
+
+    def test_node_stats_track_moves(self, medium_circuit):
+        stim = RandomStimulus(medium_circuit, num_cycles=20, seed=2)
+        assignment = imbalanced_partition(medium_circuit, 4)
+        result = TimeWarpSimulator(
+            medium_circuit, assignment, stim,
+            VirtualMachine(num_nodes=4, migration_threshold=1.5,
+                           gvt_interval=128),
+        ).run()
+        assert sum(s.num_lps for s in result.node_stats) == (
+            medium_circuit.num_gates
+        )
+        assert all(s.num_lps > 0 for s in result.node_stats)
+
+    def test_deterministic(self, medium_circuit):
+        stim = RandomStimulus(medium_circuit, num_cycles=15, seed=2)
+        assignment = imbalanced_partition(medium_circuit, 4)
+
+        def run():
+            return TimeWarpSimulator(
+                medium_circuit, assignment, stim,
+                VirtualMachine(num_nodes=4, migration_threshold=1.5,
+                               gvt_interval=128),
+            ).run()
+
+        a, b = run(), run()
+        assert a.migrations == b.migrations
+        assert a.execution_time == b.execution_time
+
+    def test_combines_with_other_policies(self, medium_circuit):
+        stim = RandomStimulus(medium_circuit, num_cycles=15, seed=2)
+        seq = SequentialSimulator(medium_circuit, stim).run()
+        assignment = imbalanced_partition(medium_circuit, 4)
+        result = TimeWarpSimulator(
+            medium_circuit, assignment, stim,
+            VirtualMachine(
+                num_nodes=4, migration_threshold=1.5, gvt_interval=128,
+                cancellation="lazy", checkpoint_interval=8,
+                optimism_window=150,
+            ),
+        ).run()
+        assert result.final_values == seq.final_values
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError, match="migration_threshold"):
+            VirtualMachine(num_nodes=2, migration_threshold=0.5)
+        with pytest.raises(ConfigError, match="migration_fraction"):
+            VirtualMachine(num_nodes=2, migration_fraction=0.0)

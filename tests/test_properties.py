@@ -1,0 +1,194 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Strategies build small random sequential circuits through the public
+generator, then check the system-level invariants: structural validity,
+serialisation round-trips, partition completeness, coarsening algebra,
+and — the big one — Time Warp/sequential equivalence.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import (
+    GeneratorSpec,
+    generate_circuit,
+    parse_bench,
+    validate_circuit,
+    write_bench,
+)
+from repro.partition import PARTITIONERS, edge_cut, get_partitioner
+from repro.partition.multilevel import CoarseGraph, coarsen_once
+from repro.partition.multilevel.refine_greedy import cut_weight, greedy_refine
+from repro.sim import RandomStimulus, SequentialSimulator
+from repro.conservative import ConservativeSimulator
+from repro.vhdl import elaborate, parse_vhdl, write_vhdl
+from repro.warped import TimeWarpSimulator, VirtualMachine
+
+# One shared strategy for small circuits: hypothesis drives the spec,
+# the generator guarantees structural validity (checked anyway).
+specs = st.builds(
+    GeneratorSpec,
+    name=st.just("prop"),
+    num_inputs=st.integers(2, 6),
+    num_outputs=st.integers(1, 5),
+    num_gates=st.integers(20, 90),
+    num_dffs=st.integers(0, 8),
+    depth=st.integers(3, 8),
+    unary_fraction=st.floats(0.0, 0.5),
+    locality=st.floats(0.5, 1.0),
+    seed=st.integers(0, 2**31),
+)
+
+relaxed = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@relaxed
+@given(spec=specs)
+def test_generated_circuits_are_valid(spec):
+    validate_circuit(generate_circuit(spec))
+
+
+@relaxed
+@given(spec=specs)
+def test_bench_round_trip_preserves_structure(spec):
+    circuit = generate_circuit(spec)
+    again = parse_bench(write_bench(circuit))
+    assert again.num_gates == circuit.num_gates
+    assert sorted(again.edges()) == sorted(circuit.edges())
+
+
+@relaxed
+@given(spec=specs)
+def test_vhdl_round_trip_preserves_structure(spec):
+    circuit = generate_circuit(spec)
+    again = elaborate(parse_vhdl(write_vhdl(circuit)))
+    assert again.num_gates == circuit.num_gates
+    assert again.num_edges == circuit.num_edges
+
+
+@relaxed
+@given(spec=specs, k=st.integers(1, 6), name=st.sampled_from(sorted(PARTITIONERS)))
+def test_partitions_are_complete_and_nonempty(spec, k, name):
+    circuit = generate_circuit(spec)
+    if k > circuit.num_gates:
+        k = circuit.num_gates
+    assignment = get_partitioner(name, seed=1).partition(circuit, k)
+    assignment.validate()
+    assert sorted(set(assignment.assignment)) == list(range(k))
+
+
+@relaxed
+@given(spec=specs)
+def test_coarsening_is_a_partition_of_vertices(spec):
+    circuit = generate_circuit(spec)
+    graph = CoarseGraph.from_circuit(circuit)
+    groups, _ = coarsen_once(graph, merge_all=True)
+    flat = sorted(v for group in groups for v in group)
+    assert flat == list(range(graph.n))
+    coarse = graph.contract(groups)
+    assert sum(coarse.weight) == graph.total_weight
+    # no group holds two primary inputs
+    for group in groups:
+        assert sum(1 for v in group if graph.contains_input[v]) <= 1
+
+
+@relaxed
+@given(spec=specs, k=st.integers(2, 5), seed=st.integers(0, 1000))
+def test_greedy_refinement_never_worsens_cut(spec, k, seed):
+    circuit = generate_circuit(spec)
+    graph = CoarseGraph.from_circuit(circuit)
+    rng = np.random.default_rng(seed)
+    partition = [int(rng.integers(0, k)) for _ in range(graph.n)]
+    before = cut_weight(graph, partition)
+    greedy_refine(graph, partition, k, rng, max_weight=graph.total_weight)
+    assert cut_weight(graph, partition) <= before
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    spec=specs,
+    k=st.integers(2, 5),
+    name=st.sampled_from(sorted(PARTITIONERS)),
+    window=st.sampled_from([None, 10, 40]),
+)
+def test_time_warp_equals_sequential(spec, k, name, window):
+    """THE invariant: optimism never changes simulation results."""
+    circuit = generate_circuit(spec)
+    if k > circuit.num_gates:
+        k = circuit.num_gates
+    stimulus = RandomStimulus(circuit, num_cycles=12, seed=spec.seed % 997)
+    sequential = SequentialSimulator(circuit, stimulus).run()
+    assignment = get_partitioner(name, seed=2).partition(circuit, k)
+    machine = VirtualMachine(num_nodes=k, optimism_window=window)
+    parallel = TimeWarpSimulator(circuit, assignment, stimulus, machine).run()
+    assert parallel.final_values == sequential.final_values
+
+
+@relaxed
+@given(spec=specs, k=st.integers(2, 4))
+def test_multilevel_beats_random_on_cut(spec, k):
+    """The contribution's core promise, as a property over circuits.
+
+    Only asserted when the circuit gives the hierarchy room to work
+    (~15 gates per partition); below that the coarsest graph is the
+    circuit itself and the comparison is noise.
+    """
+    circuit = generate_circuit(spec)
+    if circuit.num_gates < 15 * k:
+        return
+    ml = get_partitioner("Multilevel", seed=1).partition(circuit, k)
+    rnd = get_partitioner("Random", seed=1).partition(circuit, k)
+    assert edge_cut(ml) <= edge_cut(rnd)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=specs, k=st.integers(2, 4))
+def test_three_kernels_agree(spec, k):
+    """Sequential, optimistic and conservative engines reach the same
+    quiescent state on arbitrary circuits and partitions."""
+    circuit = generate_circuit(spec)
+    if k > circuit.num_gates:
+        k = circuit.num_gates
+    stimulus = RandomStimulus(circuit, num_cycles=10, seed=spec.seed % 499)
+    sequential = SequentialSimulator(circuit, stimulus).run()
+    assignment = get_partitioner("Cluster", seed=2).partition(circuit, k)
+    optimistic = TimeWarpSimulator(
+        circuit, assignment, stimulus, VirtualMachine(num_nodes=k)
+    ).run()
+    conservative = ConservativeSimulator(
+        circuit, assignment, stimulus, VirtualMachine(num_nodes=k)
+    ).run()
+    assert optimistic.final_values == sequential.final_values
+    assert conservative.final_values == sequential.final_values
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    spec=specs,
+    checkpoint=st.sampled_from([None, 1, 3, 16]),
+    cancellation=st.sampled_from(["aggressive", "lazy"]),
+)
+def test_kernel_policies_preserve_results(spec, checkpoint, cancellation):
+    """State saving and cancellation policies never change outcomes."""
+    circuit = generate_circuit(spec)
+    k = min(4, circuit.num_gates)
+    stimulus = RandomStimulus(circuit, num_cycles=10, seed=spec.seed % 499)
+    sequential = SequentialSimulator(circuit, stimulus).run()
+    assignment = get_partitioner("Random", seed=2).partition(circuit, k)
+    result = TimeWarpSimulator(
+        circuit, assignment, stimulus,
+        VirtualMachine(
+            num_nodes=k,
+            checkpoint_interval=checkpoint,
+            cancellation=cancellation,
+        ),
+    ).run()
+    assert result.final_values == sequential.final_values

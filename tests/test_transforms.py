@@ -1,0 +1,141 @@
+"""Tests for netlist transforms, verified by equivalence checking."""
+
+import pytest
+
+from repro.circuit import GateType, parse_bench, validate_circuit
+from repro.circuit.library import ripple_carry_adder
+from repro.circuit.transform import (
+    eliminate_dead_logic,
+    merge_duplicates,
+    optimize,
+    sweep_buffers,
+)
+from repro.errors import SimulationError
+from repro.sim.equivalence import check_equivalence
+
+
+class TestSweepBuffers:
+    def test_splices_chain(self):
+        c = parse_bench(
+            "INPUT(a)\nb1 = BUFF(a)\nb2 = BUFF(b1)\ny = NOT(b2)\nOUTPUT(y)\n"
+        )
+        swept = sweep_buffers(c)
+        assert swept.num_gates == 2
+        y = swept.index_of("y")
+        assert swept.fanin(y) == [swept.index_of("a")]
+        assert check_equivalence(c, swept, runs=3)
+
+    def test_output_buffer_kept(self):
+        c = parse_bench("INPUT(a)\ny = BUFF(a)\nOUTPUT(y)\n")
+        swept = sweep_buffers(c)
+        assert "y" in swept
+        assert check_equivalence(c, swept, runs=3)
+
+
+class TestMergeDuplicates:
+    def test_merges_identical_gates(self):
+        c = parse_bench(
+            "INPUT(a)\nINPUT(b)\n"
+            "g1 = AND(a, b)\ng2 = AND(b, a)\n"  # symmetric duplicate
+            "y = XOR(g1, g2)\nOUTPUT(y)\n"
+        )
+        hashed = merge_duplicates(c)
+        and_gates = [
+            g for g in hashed.gates if g.gate_type is GateType.AND
+        ]
+        assert len(and_gates) == 1
+        assert check_equivalence(c, hashed, runs=4)
+
+    def test_cascaded_merge_reaches_fixpoint(self):
+        c = parse_bench(
+            "INPUT(a)\nINPUT(b)\n"
+            "g1 = AND(a, b)\ng2 = AND(a, b)\n"
+            "h1 = NOT(g1)\nh2 = NOT(g2)\n"  # become duplicates after merge
+            "y = OR(h1, h2)\nOUTPUT(y)\n"
+        )
+        hashed = merge_duplicates(c)
+        assert hashed.num_gates == 5  # a, b, AND, NOT, OR
+        assert check_equivalence(c, hashed, runs=4)
+
+    def test_preserves_output_marking(self):
+        c = parse_bench(
+            "INPUT(a)\nINPUT(b)\n"
+            "g1 = AND(a, b)\ny = AND(a, b)\n"
+            "z = NOT(g1)\nOUTPUT(y)\nOUTPUT(z)\n"
+        )
+        hashed = merge_duplicates(c)
+        assert "y" in hashed  # the PO survives the merge
+        assert check_equivalence(c, hashed, runs=4)
+
+    def test_dffs_with_same_data_merge(self):
+        c = parse_bench(
+            "INPUT(a)\nf1 = DFF(a)\nf2 = DFF(a)\n"
+            "y = XOR(f1, f2)\nOUTPUT(y)\n"
+        )
+        hashed = merge_duplicates(c)
+        assert len(hashed.dffs) == 1
+        assert check_equivalence(c, hashed, runs=4, cycles=10)
+
+
+class TestDeadLogic:
+    def test_removes_unobservable_cone(self):
+        c = parse_bench(
+            "INPUT(a)\nINPUT(b)\n"
+            "y = AND(a, b)\n"
+            "dead1 = NOT(a)\ndead2 = XOR(dead1, b)\n"
+            "OUTPUT(y)\n",
+        )
+        live = eliminate_dead_logic(c)
+        assert "dead1" not in live and "dead2" not in live
+        assert check_equivalence(c, live, runs=3)
+
+    def test_keeps_state_feeding_outputs(self, s27):
+        live = eliminate_dead_logic(s27)
+        # all of s27 is observable
+        assert live.num_gates == s27.num_gates
+        assert check_equivalence(s27, live, runs=3)
+
+    def test_keeps_primary_inputs(self):
+        c = parse_bench(
+            "INPUT(a)\nINPUT(unused)\ny = NOT(a)\nOUTPUT(y)\n"
+        )
+        live = eliminate_dead_logic(c)
+        assert "unused" in live
+
+
+class TestOptimizePipeline:
+    def test_equivalent_on_generated_circuits(self, medium_circuit):
+        optimized = optimize(medium_circuit)
+        validate_circuit(optimized, allow_dead_logic=True)
+        assert optimized.num_gates <= medium_circuit.num_gates
+        assert check_equivalence(medium_circuit, optimized, runs=4, cycles=8)
+
+    def test_adder_untouched_logic_still_adds(self):
+        adder = ripple_carry_adder(4)
+        optimized = optimize(adder)
+        assert check_equivalence(adder, optimized, runs=6)
+
+    def test_idempotent(self, small_circuit):
+        once = optimize(small_circuit)
+        twice = optimize(once)
+        assert twice.num_gates == once.num_gates
+
+
+class TestEquivalenceChecker:
+    def test_detects_inequivalence(self):
+        a = parse_bench("INPUT(a)\nINPUT(b)\ny = AND(a, b)\nOUTPUT(y)\n")
+        b = parse_bench("INPUT(a)\nINPUT(b)\ny = OR(a, b)\nOUTPUT(y)\n")
+        report = check_equivalence(a, b, runs=4)
+        assert not report
+        assert report.mismatches
+
+    def test_rejects_mismatched_interfaces(self):
+        a = parse_bench("INPUT(a)\ny = NOT(a)\nOUTPUT(y)\n")
+        b = parse_bench("INPUT(x)\ny = NOT(x)\nOUTPUT(y)\n")
+        with pytest.raises(SimulationError, match="input interfaces"):
+            check_equivalence(a, b)
+
+    def test_report_is_truthy_on_match(self, s27):
+        report = check_equivalence(s27, s27.copy(), runs=2)
+        assert report
+        assert report.vectors_tried > 0

@@ -1,0 +1,136 @@
+"""Tests for VCD export, peak-history stats and work balancing."""
+
+import pytest
+
+from repro.circuit.netlists import load_s27
+from repro.errors import SimulationError
+from repro.partition import get_partitioner
+from repro.sim import RandomStimulus, SequentialSimulator, Trace
+from repro.sim.vcd import _identifier, write_vcd
+from repro.warped import TimeWarpSimulator, VirtualMachine
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    circuit = load_s27()
+    trace = Trace(circuit)  # watch everything
+    stim = RandomStimulus(circuit, num_cycles=20, seed=4)
+    result = SequentialSimulator(circuit, stim, trace=trace).run()
+    return circuit, trace, result
+
+
+class TestVcd:
+    def test_identifiers_unique_and_printable(self):
+        ids = [_identifier(i) for i in range(2000)]
+        assert len(set(ids)) == 2000
+        for code in ids:
+            assert all(33 <= ord(c) <= 126 for c in code)
+
+    def test_header_and_vars(self, traced_run):
+        circuit, trace, _ = traced_run
+        vcd = write_vcd(trace)
+        assert "$timescale 1 ns $end" in vcd
+        assert f"$scope module {circuit.name} $end" in vcd
+        assert "$enddefinitions $end" in vcd
+        assert "G17" in vcd
+
+    def test_changes_time_ordered(self, traced_run):
+        _, trace, _ = traced_run
+        vcd = write_vcd(trace)
+        times = [
+            int(line[1:]) for line in vcd.splitlines() if line.startswith("#")
+        ]
+        assert times == sorted(times)
+        assert times, "expected at least one timestamped change"
+
+    def test_final_values_match_simulation(self, traced_run):
+        circuit, trace, result = traced_run
+        vcd = write_vcd(trace)
+        # last change recorded for the primary output equals the final value
+        g17 = circuit.index_of("G17")
+        last_value = trace.changes(g17)[-1][1]
+        assert last_value == result.final_values[g17]
+        assert str(last_value) in vcd
+
+    def test_gate_subset(self, traced_run):
+        circuit, trace, _ = traced_run
+        g17 = circuit.index_of("G17")
+        vcd = write_vcd(trace, gates=[g17])
+        assert vcd.count("$var wire") == 1
+
+    def test_empty_selection_rejected(self, traced_run):
+        circuit, trace, _ = traced_run
+        quiet = [
+            g for g in range(circuit.num_gates) if not trace.changes(g)
+        ]
+        with pytest.raises(SimulationError, match="no changes"):
+            write_vcd(trace, gates=quiet or [])
+
+
+class TestPeakHistory:
+    def test_fossil_collection_bounds_memory(self, medium_circuit):
+        stim = RandomStimulus(medium_circuit, num_cycles=30, seed=2)
+        assignment = get_partitioner("Multilevel", seed=3).partition(
+            medium_circuit, 4
+        )
+        frequent = TimeWarpSimulator(
+            medium_circuit, assignment, stim,
+            VirtualMachine(num_nodes=4, gvt_interval=64),
+        ).run()
+        rare = TimeWarpSimulator(
+            medium_circuit, assignment, stim,
+            VirtualMachine(num_nodes=4, gvt_interval=4096),
+        ).run()
+        assert frequent.peak_history > 0
+        assert frequent.peak_history <= rare.peak_history
+        assert frequent.final_values == rare.final_values
+
+
+class TestWorkBalancing:
+    def test_vertex_weights_rebalance_load(self, medium_circuit):
+        from repro.partition.extra_activity import (
+            ActivityMultilevelPartitioner,
+        )
+        from repro.sim.activity import profile_activity
+
+        profile = profile_activity(medium_circuit, num_cycles=12, seed=5)
+
+        def work_imbalance(assignment, k):
+            load = [0] * k
+            for gate in range(medium_circuit.num_gates):
+                work = 1 + profile.changes[gate] + sum(
+                    profile.changes[d] for d in medium_circuit.fanin(gate)
+                )
+                load[assignment[gate]] += work
+            return max(load) / (sum(load) / k)
+
+        weighted = ActivityMultilevelPartitioner(
+            seed=3, profile=profile, balance_work=True
+        ).partition(medium_circuit, 6)
+        unweighted = ActivityMultilevelPartitioner(
+            seed=3, profile=profile, balance_work=False
+        ).partition(medium_circuit, 6)
+        assert work_imbalance(weighted.assignment, 6) <= work_imbalance(
+            unweighted.assignment, 6
+        ) + 0.05
+
+    def test_vertex_weights_validated(self, s27):
+        from repro.partition.multilevel import CoarseGraph
+
+        with pytest.raises(Exception, match="vertex_weights"):
+            CoarseGraph.from_circuit(s27, vertex_weights=[1, 2, 3])
+
+    def test_oracle_with_work_balancing(self, medium_circuit):
+        from repro.partition.extra_activity import (
+            ActivityMultilevelPartitioner,
+        )
+
+        stim = RandomStimulus(medium_circuit, num_cycles=15, seed=7)
+        seq = SequentialSimulator(medium_circuit, stim).run()
+        assignment = ActivityMultilevelPartitioner(seed=3).partition(
+            medium_circuit, 4
+        )
+        tw = TimeWarpSimulator(
+            medium_circuit, assignment, stim, VirtualMachine(num_nodes=4)
+        ).run()
+        assert tw.final_values == seq.final_values

@@ -1,0 +1,180 @@
+"""Unit tests for elaboration, code generation and the VHDL writer."""
+
+import pytest
+
+from repro.circuit import GateType, load_benchmark, parse_bench
+from repro.errors import ElaborationError, VHDLError
+from repro.vhdl import elaborate, generate_python, parse_vhdl, write_vhdl
+from repro.vhdl.elaborate import lookup_primitive
+
+BASIC = """
+entity top is
+  port (a, b : in std_logic; y : out std_logic);
+end entity;
+architecture s of top is
+  signal t : std_logic;
+begin
+  u0 : nand2 port map (a => a, b => b, y => t);
+  u1 : inv port map (a => t, y => y);
+end architecture;
+"""
+
+
+class TestPrimitives:
+    def test_standard_cells(self):
+        assert lookup_primitive("nand2").gate_type is GateType.NAND
+        assert lookup_primitive("xor3").arity == 3
+        assert lookup_primitive("dff").output_port == "q"
+        assert lookup_primitive("inv").input_ports == ["a"]
+
+    def test_wide_gates_resolved_on_demand(self):
+        prim = lookup_primitive("and17")
+        assert prim.arity == 17
+        assert len(prim.input_ports) == 17
+        assert len(set(prim.input_ports)) == 17
+        assert prim.input_ports[-1] == "in16"
+
+    def test_unknown_primitive(self):
+        with pytest.raises(ElaborationError, match="unknown primitive"):
+            lookup_primitive("alu74181")
+
+
+class TestElaborate:
+    def test_basic_netlist(self):
+        circuit = elaborate(parse_vhdl(BASIC))
+        assert circuit.num_gates == 4  # a, b, t, y
+        assert circuit.gates[circuit.index_of("t")].gate_type is GateType.NAND
+        assert circuit.gates[circuit.index_of("y")].gate_type is GateType.NOT
+        assert circuit.primary_outputs == [circuit.index_of("y")]
+
+    def test_multiple_drivers_rejected(self):
+        bad = BASIC.replace(
+            "u1 : inv port map (a => t, y => y);",
+            "u1 : inv port map (a => t, y => y);\n"
+            "u2 : inv port map (a => a, y => t);",
+        )
+        with pytest.raises(ElaborationError, match="driven by both"):
+            elaborate(parse_vhdl(bad))
+
+    def test_unconnected_port_rejected(self):
+        bad = BASIC.replace(
+            "u0 : nand2 port map (a => a, b => b, y => t);",
+            "u0 : nand2 port map (a => a, y => t);",
+        )
+        with pytest.raises(ElaborationError, match="unconnected"):
+            elaborate(parse_vhdl(bad))
+
+    def test_unknown_signal_rejected(self):
+        bad = BASIC.replace("(a => t, y => y)", "(a => ghost, y => y)")
+        with pytest.raises(ElaborationError, match="unknown signal"):
+            elaborate(parse_vhdl(bad))
+
+    def test_undriven_output_rejected(self):
+        bad = """
+        entity top is port (a : in std_logic; y : out std_logic); end entity;
+        architecture s of top is begin
+          u0 : inv port map (a => a, y => a2);
+        end architecture;
+        """
+        with pytest.raises(ElaborationError, match="unknown signal"):
+            elaborate(parse_vhdl(bad))
+
+    def test_output_never_driven(self):
+        bad = """
+        entity top is port (a : in std_logic; y : out std_logic); end entity;
+        architecture s of top is signal t : std_logic; begin
+          u0 : inv port map (a => a, y => t);
+        end architecture;
+        """
+        with pytest.raises(ElaborationError, match="never driven"):
+            elaborate(parse_vhdl(bad))
+
+    def test_duplicate_association_rejected(self):
+        bad = BASIC.replace("(a => a, b => b, y => t)", "(a => a, a => b, y => t)")
+        with pytest.raises(ElaborationError, match="associated twice"):
+            elaborate(parse_vhdl(bad))
+
+    def test_component_declaration_shape_checked(self):
+        bad = """
+        entity top is port (a : in std_logic; y : out std_logic); end entity;
+        architecture s of top is
+          component inv is
+            port (a, b : in std_logic; y : out std_logic);
+          end component;
+        begin
+          u0 : inv port map (a => a, y => y);
+        end architecture;
+        """
+        with pytest.raises(ElaborationError, match="does not match"):
+            elaborate(parse_vhdl(bad))
+
+    def test_top_selection(self):
+        two = BASIC + BASIC.replace("top", "other")
+        circuit = elaborate(parse_vhdl(two), top="top")
+        assert circuit.name == "top"
+        with pytest.raises(ElaborationError, match="no entity"):
+            elaborate(parse_vhdl(two), top="missing")
+
+
+class TestWriterRoundTrip:
+    def test_s27_round_trip(self, s27):
+        text = write_vhdl(s27)
+        again = elaborate(parse_vhdl(text))
+        assert again.num_gates == s27.num_gates
+        assert again.num_edges == s27.num_edges
+        assert len(again.dffs) == len(s27.dffs)
+
+    def test_generated_circuit_round_trip(self, small_circuit):
+        again = elaborate(parse_vhdl(write_vhdl(small_circuit)))
+        assert again.num_gates == small_circuit.num_gates
+        assert again.num_edges == small_circuit.num_edges
+        # adjacency preserved by (case-folded) names
+        for gate in small_circuit.gates:
+            twin = again.gates[again.index_of(gate.name.lower())]
+            assert twin.gate_type == gate.gate_type
+            assert sorted(
+                small_circuit.gates[d].name.lower() for d in gate.fanin
+            ) == sorted(again.gates[d].name.lower() for d in twin.fanin)
+
+    def test_benchmark_round_trip(self):
+        circuit = load_benchmark("s5378", scale=0.05)
+        again = elaborate(parse_vhdl(write_vhdl(circuit)))
+        assert again.num_edges == circuit.num_edges
+
+    def test_write_requires_frozen(self):
+        from repro.circuit import CircuitGraph
+
+        with pytest.raises(VHDLError, match="freeze"):
+            write_vhdl(CircuitGraph())
+
+    def test_simulation_equivalence_through_vhdl(self, s27):
+        """The re-elaborated circuit simulates identically (by name)."""
+        from repro.sim import RandomStimulus, SequentialSimulator
+
+        again = elaborate(parse_vhdl(write_vhdl(s27)), name="s27")
+        stim_a = RandomStimulus(s27, num_cycles=15, seed=3)
+        stim_b = RandomStimulus(again, num_cycles=15, seed=3)
+        res_a = SequentialSimulator(s27, stim_a).run()
+        res_b = SequentialSimulator(again, stim_b).run()
+        assert res_a.value_of(s27, "G17") == res_b.value_of(again, "g17")
+
+
+class TestCodegen:
+    def test_generated_module_builds_and_simulates(self):
+        source = generate_python(parse_vhdl(BASIC))
+        namespace = {}
+        exec(compile(source, "<generated>", "exec"), namespace)
+        circuit = namespace["build"]()
+        assert circuit.num_gates == 4
+        result = namespace["simulate"](num_cycles=5, seed=1)
+        assert result.events_processed > 0
+
+    def test_generated_module_matches_direct_elaboration(self, s27):
+        design = parse_vhdl(write_vhdl(s27))
+        source = generate_python(design)
+        namespace = {}
+        exec(compile(source, "<generated>", "exec"), namespace)
+        built = namespace["build"]()
+        direct = elaborate(design)
+        assert built.num_gates == direct.num_gates
+        assert sorted(built.edges()) == sorted(direct.edges())

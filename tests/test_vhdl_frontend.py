@@ -1,0 +1,125 @@
+"""Unit tests for the VHDL lexer and parser."""
+
+import pytest
+
+from repro.errors import VHDLLexError, VHDLParseError
+from repro.vhdl import parse_vhdl, tokenize
+from repro.vhdl.lexer import TokenKind
+
+
+class TestLexer:
+    def test_identifiers_case_folded(self):
+        tokens = tokenize("Entity FOO Is")
+        assert [t.text for t in tokens[:-1]] == ["entity", "foo", "is"]
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[1].kind is TokenKind.IDENT
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a -- the rest is noise ; () entity\nb")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_punctuation_and_arrow(self):
+        tokens = tokenize("port map (a => b);")
+        kinds = [t.kind for t in tokens[:-1]]
+        assert kinds == [
+            TokenKind.KEYWORD, TokenKind.KEYWORD, TokenKind.LPAREN,
+            TokenKind.IDENT, TokenKind.ARROW, TokenKind.IDENT,
+            TokenKind.RPAREN, TokenKind.SEMI,
+        ]
+
+    def test_extended_identifier(self):
+        tokens = tokenize(r"\Gate[3]\ : inv")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].text == r"\Gate[3]\ ".strip()
+
+    def test_unterminated_extended_identifier(self):
+        with pytest.raises(VHDLLexError, match="unterminated"):
+            tokenize("\\oops")
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_illegal_character(self):
+        with pytest.raises(VHDLLexError, match="unexpected character"):
+            tokenize("a ? b")
+
+    def test_integer_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind is TokenKind.INTEGER
+
+
+GOOD = """
+library ieee;
+use ieee.std_logic_1164.all;
+entity top is
+  port (a, b : in std_logic; y : out std_logic);
+end entity top;
+architecture rtl of top is
+  component nand2 is
+    port (a, b : in std_logic; y : out std_logic);
+  end component;
+  signal t : std_logic;
+begin
+  u0 : nand2 port map (a => a, b => b, y => t);
+  u1 : nand2 port map (t, t, y);
+end architecture rtl;
+"""
+
+
+class TestParser:
+    def test_good_design_parses(self):
+        design = parse_vhdl(GOOD)
+        assert set(design.entities) == {"top"}
+        entity = design.entities["top"]
+        assert [p.name for p in entity.input_ports] == ["a", "b"]
+        assert [p.name for p in entity.output_ports] == ["y"]
+        arch = design.architecture_of("top")
+        assert arch.name == "rtl"
+        assert len(arch.instantiations) == 2
+        assert arch.instantiations[0].label == "u0"
+        assert [s.name for s in arch.signals] == ["t"]
+
+    def test_positional_associations(self):
+        design = parse_vhdl(GOOD)
+        inst = design.architecture_of("top").instantiations[1]
+        assert all(a.formal is None for a in inst.associations)
+        assert [a.actual for a in inst.associations] == ["t", "t", "y"]
+
+    def test_positional_after_named_rejected(self):
+        bad = GOOD.replace(
+            "u1 : nand2 port map (t, t, y);",
+            "u1 : nand2 port map (a => t, t, y);",
+        )
+        with pytest.raises(VHDLParseError, match="positional association"):
+            parse_vhdl(bad)
+
+    def test_mismatched_entity_close_rejected(self):
+        with pytest.raises(VHDLParseError, match="closed as"):
+            parse_vhdl("entity a is end entity b;")
+
+    def test_duplicate_entity_rejected(self):
+        with pytest.raises(VHDLParseError, match="twice"):
+            parse_vhdl("entity a is end entity;\nentity a is end entity;")
+
+    def test_architecture_of_unknown_entity_rejected(self):
+        with pytest.raises(VHDLParseError, match="unknown entity"):
+            parse_vhdl("architecture x of ghost is begin end;")
+
+    def test_inout_unsupported(self):
+        with pytest.raises(VHDLParseError, match="inout"):
+            parse_vhdl(
+                "entity a is port (x : inout std_logic); end entity;"
+            )
+
+    def test_garbage_top_level(self):
+        with pytest.raises(VHDLParseError, match="expected entity"):
+            parse_vhdl("banana;")
+
+    def test_last_architecture_wins(self):
+        two = GOOD + GOOD.split("end entity top;")[1].replace(
+            "architecture rtl", "architecture rtl2"
+        )
+        design = parse_vhdl(two)
+        assert design.architecture_of("top").name == "rtl2"

@@ -1,0 +1,172 @@
+"""Tests for hierarchical VHDL elaboration (entities inside entities)."""
+
+import pytest
+
+from repro.errors import ElaborationError
+from repro.sim import SequentialSimulator, VectorStimulus
+from repro.vhdl import elaborate, parse_vhdl
+
+HALF_ADDER = """
+entity half_adder is
+  port (a, b : in std_logic; s, c : out std_logic);
+end entity;
+architecture rtl of half_adder is
+begin
+  u_s : xor2 port map (a => a, b => b, y => s);
+  u_c : and2 port map (a => a, b => b, y => c);
+end architecture;
+"""
+
+FULL_ADDER = HALF_ADDER + """
+entity full_adder is
+  port (a, b, cin : in std_logic; s, cout : out std_logic);
+end entity;
+architecture rtl of full_adder is
+  signal s1, c1, c2 : std_logic;
+begin
+  ha0 : half_adder port map (a => a, b => b, s => s1, c => c1);
+  ha1 : half_adder port map (a => s1, b => cin, s => s, c => c2);
+  u_or : or2 port map (a => c1, b => c2, y => cout);
+end architecture;
+"""
+
+TWO_BIT_ADDER = FULL_ADDER + """
+entity adder2 is
+  port (a0, a1, b0, b1, cin : in std_logic;
+        s0, s1, cout : out std_logic);
+end entity;
+architecture rtl of adder2 is
+  signal carry : std_logic;
+begin
+  fa0 : full_adder port map (a => a0, b => b0, cin => cin,
+                             s => s0, cout => carry);
+  fa1 : full_adder port map (a => a1, b => b1, cin => carry,
+                             s => s1, cout => cout);
+end architecture;
+"""
+
+
+class TestHierarchy:
+    def test_one_level(self):
+        circuit = elaborate(parse_vhdl(FULL_ADDER), top="full_adder")
+        # 3 PIs + (2 gates per half adder) * 2 + 1 OR = 8 gates
+        assert circuit.num_gates == 8
+        # hierarchical signals got qualified names
+        assert "ha0/s" not in circuit  # port-bound, aliased to s1
+        assert circuit.index_of("s1") >= 0
+
+    def test_two_levels_computes_addition(self):
+        circuit = elaborate(parse_vhdl(TWO_BIT_ADDER), top="adder2")
+        for a in range(4):
+            for b in range(4):
+                vec = {
+                    "a0": a & 1, "a1": (a >> 1) & 1,
+                    "b0": b & 1, "b1": (b >> 1) & 1,
+                    "cin": 0,
+                }
+                stim = VectorStimulus(circuit, [vec, vec])
+                result = SequentialSimulator(circuit, stim).run()
+                total = (
+                    result.value_of(circuit, "s0")
+                    + (result.value_of(circuit, "s1") << 1)
+                    + (result.value_of(circuit, "cout") << 2)
+                )
+                assert total == a + b, (a, b)
+
+    def test_internal_names_qualified(self):
+        circuit = elaborate(parse_vhdl(TWO_BIT_ADDER), top="adder2")
+        assert "fa0/s1" in circuit
+        assert "fa1/c1" in circuit
+
+    def test_positional_binding_into_entity(self):
+        src = FULL_ADDER + """
+        entity wrap is
+          port (x, y, z : in std_logic; q, r : out std_logic);
+        end entity;
+        architecture rtl of wrap is begin
+          fa : full_adder port map (x, y, z, q, r);
+        end architecture;
+        """
+        circuit = elaborate(parse_vhdl(src), top="wrap")
+        stim = VectorStimulus(circuit, [{"x": 1, "y": 1, "z": 1}] * 2)
+        result = SequentialSimulator(circuit, stim).run()
+        assert result.value_of(circuit, "q") == 1  # 1+1+1 = 11b
+        assert result.value_of(circuit, "r") == 1
+
+    def test_entity_shadows_primitive(self):
+        # an entity named xor2 overrides the library cell
+        src = """
+        entity xor2 is
+          port (a, b : in std_logic; y : out std_logic);
+        end entity;
+        architecture odd of xor2 is
+          signal na, nb, t1, t2 : std_logic;
+        begin
+          u1 : inv port map (a => a, y => na);
+          u2 : inv port map (a => b, y => nb);
+          u3 : and2 port map (a => a, b => nb, y => t1);
+          u4 : and2 port map (a => na, b => b, y => t2);
+          u5 : or2 port map (a => t1, b => t2, y => y);
+        end architecture;
+        entity top is
+          port (p, q : in std_logic; y : out std_logic);
+        end entity;
+        architecture rtl of top is begin
+          u : xor2 port map (a => p, b => q, y => y);
+        end architecture;
+        """
+        circuit = elaborate(parse_vhdl(src), top="top")
+        assert circuit.num_gates == 2 + 5  # discrete XOR, not the cell
+        stim = VectorStimulus(circuit, [{"p": 1, "q": 0}] * 2)
+        result = SequentialSimulator(circuit, stim).run()
+        assert result.value_of(circuit, "y") == 1
+
+    def test_recursion_detected(self):
+        src = """
+        entity loopy is
+          port (a : in std_logic; y : out std_logic);
+        end entity;
+        architecture rtl of loopy is begin
+          u : loopy port map (a => a, y => y);
+        end architecture;
+        """
+        with pytest.raises(ElaborationError, match="recursive"):
+            elaborate(parse_vhdl(src), top="loopy")
+
+    def test_child_without_architecture_rejected(self):
+        src = """
+        entity ghost is
+          port (a : in std_logic; y : out std_logic);
+        end entity;
+        entity top is
+          port (a : in std_logic; y : out std_logic);
+        end entity;
+        architecture rtl of top is begin
+          u : ghost port map (a => a, y => y);
+        end architecture;
+        """
+        with pytest.raises(ElaborationError, match="no architecture"):
+            elaborate(parse_vhdl(src), top="top")
+
+    def test_unconnected_entity_port_rejected(self):
+        src = FULL_ADDER + """
+        entity top is
+          port (a, b : in std_logic; s : out std_logic);
+        end entity;
+        architecture rtl of top is
+          signal co : std_logic;
+        begin
+          fa : full_adder port map (a => a, b => b, s => s, cout => co);
+        end architecture;
+        """
+        with pytest.raises(ElaborationError, match="unconnected"):
+            elaborate(parse_vhdl(src), top="top")
+
+    def test_round_trip_through_writer(self):
+        """The flattened hierarchy re-emits as flat VHDL and re-elaborates."""
+        from repro.vhdl import write_vhdl
+
+        circuit = elaborate(parse_vhdl(TWO_BIT_ADDER), top="adder2")
+        again = elaborate(parse_vhdl(write_vhdl(circuit)))
+        assert again.num_gates == circuit.num_gates
+        assert again.num_edges == circuit.num_edges

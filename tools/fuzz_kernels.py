@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Long-running kernel fuzz: all engines, all policies, random circuits.
+
+Not part of the test suite (hypothesis covers the same invariants with
+bounded examples); run this for release-grade confidence:
+
+    python tools/fuzz_kernels.py [seconds] [seed]
+
+Every iteration builds a random sequential circuit, partitions it with
+a random strategy, runs the Time Warp kernel under a random policy mix
+(window / cancellation / checkpointing / migration) and checks the
+final signal values against the sequential oracle; a quarter of the
+iterations also run the conservative kernel.
+"""
+
+import sys
+import time
+
+from repro.circuit import GeneratorSpec, generate_circuit
+from repro.conservative import ConservativeSimulator
+from repro.partition.registry import all_partitioners, get_partitioner
+from repro.sim import RandomStimulus, SequentialSimulator
+from repro.utils.rng import make_rng
+from repro.warped import TimeWarpSimulator, VirtualMachine
+
+
+def main() -> int:
+    budget = float(sys.argv[1]) if len(sys.argv) > 1 else 120.0
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 99
+    rng = make_rng(seed)
+    names = sorted(all_partitioners())
+    failures = 0
+    runs = 0
+    start = time.time()
+    while time.time() - start < budget:
+        spec = GeneratorSpec(
+            "fuzz",
+            int(rng.integers(2, 8)),
+            int(rng.integers(1, 6)),
+            int(rng.integers(25, 220)),
+            int(rng.integers(0, 16)),
+            depth=int(rng.integers(3, 12)),
+            unary_fraction=float(rng.uniform(0, 0.5)),
+            locality=float(rng.uniform(0.5, 1.0)),
+            seed=int(rng.integers(0, 2**31)),
+            delay_model=["unit", "typed", "random"][int(rng.integers(0, 3))],
+        )
+        circuit = generate_circuit(spec)
+        stimulus = RandomStimulus(
+            circuit,
+            num_cycles=int(rng.integers(6, 30)),
+            period=int(rng.integers(10, 120)),
+            seed=int(rng.integers(0, 2**31)),
+        )
+        sequential = SequentialSimulator(circuit, stimulus).run()
+        k = int(rng.integers(2, min(7, circuit.num_gates)))
+        name = names[int(rng.integers(0, len(names)))]
+        assignment = get_partitioner(
+            name, seed=int(rng.integers(0, 1000))
+        ).partition(circuit, k)
+        machine = VirtualMachine(
+            num_nodes=k,
+            optimism_window=(
+                None if rng.random() < 0.4 else int(rng.integers(5, 200))
+            ),
+            cancellation="lazy" if rng.random() < 0.4 else "aggressive",
+            checkpoint_interval=(
+                None if rng.random() < 0.5 else int(rng.integers(1, 32))
+            ),
+            migration_threshold=(
+                None if rng.random() < 0.5 else float(rng.uniform(1.2, 3.0))
+            ),
+            gvt_interval=int(rng.integers(32, 1024)),
+        )
+        optimistic = TimeWarpSimulator(
+            circuit, assignment, stimulus, machine
+        ).run()
+        runs += 1
+        if optimistic.final_values != sequential.final_values:
+            failures += 1
+            print(f"TW FAIL: {spec} {name} k={k} {machine}", flush=True)
+        if rng.random() < 0.25:
+            conservative = ConservativeSimulator(
+                circuit, assignment, stimulus, VirtualMachine(num_nodes=k)
+            ).run()
+            runs += 1
+            if conservative.final_values != sequential.final_values:
+                failures += 1
+                print(f"CMB FAIL: {spec} {name} k={k}", flush=True)
+        if runs % 200 == 0:
+            print(
+                f"... {runs} runs, {failures} failures, "
+                f"{time.time() - start:.0f}s",
+                flush=True,
+            )
+    print(f"done: {runs} runs, {failures} failures")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
