@@ -1,0 +1,58 @@
+"""Process backend vs. virtual backend on the benchmark circuits.
+
+Not a paper artifact — the paper's numbers are modelled seconds from
+the virtual machine — but the sanity sweep for the real multiprocess
+backend at benchmark scale: for each circuit, run the multilevel
+partition on real OS processes, assert the committed results match the
+(cached) sequential oracle, and record measured wall-clock alongside
+the modelled time so the two substrates can be eyeballed side by side.
+"""
+
+from __future__ import annotations
+
+from conftest import save_artifact
+
+from repro.harness.config import TABLE2_NODE_COUNTS
+from repro.utils.tables import format_table
+from repro.warped import ProcessTimeWarpSimulator, VirtualMachine
+
+NODES = 4
+
+
+def test_process_backend_sweep(benchmark, runner, artifact_dir):
+    def sweep():
+        rows = []
+        for circuit_name in TABLE2_NODE_COUNTS:
+            circuit = runner.circuit(circuit_name)
+            stimulus = runner.stimulus(circuit_name)
+            sequential = runner.sequential(circuit_name)
+            assignment = runner.partition(circuit_name, "Multilevel", NODES)
+            machine = VirtualMachine(
+                num_nodes=NODES, cost_model=runner.config.tw_costs
+            )
+            result = ProcessTimeWarpSimulator(
+                circuit, assignment, stimulus, machine
+            ).run()
+            assert result.final_values == sequential.final_values
+            assert result.committed_captures == sequential.committed_captures
+            virtual = runner.record(circuit_name, "Multilevel", NODES)
+            rows.append((
+                circuit.name,
+                NODES,
+                f"{virtual.execution_time:.2f}",
+                f"{result.execution_time:.2f}",
+                result.events_processed,
+                result.rollbacks,
+                result.app_messages + result.anti_messages,
+            ))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["Circuit", "Nodes", "Modelled s", "Measured s",
+         "Events", "Rollbacks", "Messages"],
+        rows,
+        title="Process backend (real OS processes, Multilevel partition) "
+        f"({runner.config.describe()})",
+    )
+    save_artifact(artifact_dir, "process_backend.txt", table)

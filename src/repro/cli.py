@@ -28,6 +28,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="circuit scale (default: env or 0.12)")
     parser.add_argument("--cycles", type=int, default=None,
                         help="stimulus cycles (default: env or 60)")
+    parser.add_argument("--backend", default=None,
+                        choices=["virtual", "process"],
+                        help="Time Warp substrate: modelled virtual machine "
+                        "or real OS processes (default: env or virtual)")
 
 
 def _runner(args: argparse.Namespace) -> ExperimentRunner:
@@ -36,6 +40,8 @@ def _runner(args: argparse.Namespace) -> ExperimentRunner:
         overrides["scale"] = args.scale
     if getattr(args, "cycles", None) is not None:
         overrides["num_cycles"] = args.cycles
+    if getattr(args, "backend", None) is not None:
+        overrides["backend"] = args.backend
     return ExperimentRunner(ExperimentConfig.from_env(**overrides))
 
 
@@ -118,6 +124,11 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "run":
         seq = runner.sequential(args.circuit)
         if args.kernel == "conservative":
+            if runner.config.backend == "process":
+                parser.error(
+                    "--kernel conservative runs only on the virtual "
+                    "backend (--backend process is Time Warp only)"
+                )
             from repro.conservative import ConservativeSimulator
             from repro.warped.machine import VirtualMachine
 
@@ -136,8 +147,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"sequential: {seq.execution_time:.2f}s "
               f"({seq.events_processed} events)")
         print(result.summary())
-        speedup = seq.execution_time / result.execution_time
-        print(f"speedup over sequential: {speedup:.2f}x")
+        if getattr(result, "backend", "virtual") == "process":
+            # Real OS processes measure real time; the sequential
+            # baseline is still the modelled clock, so a ratio would
+            # compare incommensurable units.
+            print(f"process backend: measured wall-clock over "
+                  f"{result.num_nodes} OS processes")
+        else:
+            speedup = seq.execution_time / result.execution_time
+            print(f"speedup over sequential: {speedup:.2f}x")
     elif args.command == "partition":
         from repro.partition.metrics import partition_quality
 

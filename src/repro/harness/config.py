@@ -6,7 +6,9 @@ circuits (DESIGN.md §5). Environment overrides:
 
 - ``REPRO_FULL=1`` — paper-scale circuits and cycle counts;
 - ``REPRO_SCALE=0.25`` — explicit circuit scale;
-- ``REPRO_CYCLES=200`` — explicit stimulus cycle count.
+- ``REPRO_CYCLES=200`` — explicit stimulus cycle count;
+- ``REPRO_BACKEND=process`` — run Time Warp on real OS processes
+  instead of the modelled virtual machine.
 """
 
 from __future__ import annotations
@@ -59,6 +61,10 @@ class ExperimentConfig:
     #: average was used". 1 keeps the default artifacts fast.
     repetitions: int = 1
     gvt_interval: int = 512
+    #: Time Warp execution substrate: "virtual" runs the deterministic
+    #: modelled machine (the paper-reproduction default), "process" runs
+    #: one OS process per node and reports measured wall-clock.
+    backend: str = "virtual"
     tw_costs: TimeWarpCostModel = field(default_factory=TimeWarpCostModel)
     seq_costs: SequentialCostModel = field(default_factory=SequentialCostModel)
 
@@ -71,6 +77,10 @@ class ExperimentConfig:
             raise ConfigError("window_periods must be positive or None")
         if self.repetitions < 1:
             raise ConfigError("repetitions must be >= 1")
+        if self.backend not in ("virtual", "process"):
+            raise ConfigError(
+                f"backend must be 'virtual' or 'process', got {self.backend!r}"
+            )
 
     @property
     def optimism_window(self) -> int | None:
@@ -90,6 +100,8 @@ class ExperimentConfig:
             overrides["num_cycles"] = int(os.environ["REPRO_CYCLES"])
         if "REPRO_REPS" in os.environ:
             overrides["repetitions"] = int(os.environ["REPRO_REPS"])
+        if "REPRO_BACKEND" in os.environ:
+            overrides.setdefault("backend", os.environ["REPRO_BACKEND"])
         return cls(**overrides)
 
     def describe(self) -> str:
@@ -99,8 +111,9 @@ class ExperimentConfig:
             if self.window_periods is None
             else f"{self.window_periods} period(s)"
         )
+        suffix = "" if self.backend == "virtual" else f" backend={self.backend}"
         return (
             f"scale={self.scale:g} cycles={self.num_cycles} "
             f"period={self.period} activity={self.activity:g} "
-            f"window={window}"
+            f"window={window}{suffix}"
         )

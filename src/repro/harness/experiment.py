@@ -13,6 +13,7 @@ from repro.sim.kernel import SequentialResult, SequentialSimulator
 from repro.sim.stimulus import RandomStimulus
 from repro.warped.kernel import TimeWarpSimulator
 from repro.warped.machine import VirtualMachine
+from repro.warped.parallel import ProcessTimeWarpSimulator
 from repro.warped.stats import TimeWarpResult
 
 
@@ -154,7 +155,12 @@ class ExperimentRunner:
                 gvt_interval=self.config.gvt_interval,
                 optimism_window=self.config.optimism_window,
             )
-            result = TimeWarpSimulator(
+            simulator_cls = (
+                ProcessTimeWarpSimulator
+                if self.config.backend == "process"
+                else TimeWarpSimulator
+            )
+            result = simulator_cls(
                 self.circuit(name),
                 self.partition(name, algorithm, nodes),
                 self.stimulus(name, rep),
@@ -165,6 +171,14 @@ class ExperimentRunner:
             if result.final_values != seq.final_values:
                 raise AssertionError(
                     f"Time Warp diverged from sequential on {key}"
+                )
+            if (
+                result.committed_captures is not None
+                and result.committed_captures != seq.committed_captures
+            ):
+                raise AssertionError(
+                    f"Time Warp capture history diverged from sequential "
+                    f"on {key}"
                 )
             self._runs[key] = result
         return self._runs[key]

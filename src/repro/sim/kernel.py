@@ -34,6 +34,11 @@ class SequentialResult:
     final_values: list[int]
     execution_time: float
     trace: Trace | None = None
+    #: DFF capture history as sorted (gate, cycle, value) triples — one
+    #: entry per capture that changed the flip-flop's output.  The Time
+    #: Warp backends produce the identical committed log; the
+    #: differential tests compare against this oracle.
+    committed_captures: list[tuple[int, int, int]] | None = None
 
     def value_of(self, circuit: CircuitGraph, name: str) -> int:
         """Final value of the gate called *name*."""
@@ -86,6 +91,7 @@ class SequentialSimulator:
         queue = EventQueue()
         events_processed = 0
         emissions = 0
+        capture_log: dict[tuple[int, int], int] = {}
 
         def emit(time: int, src: int, v: int) -> None:
             nonlocal emissions
@@ -131,6 +137,7 @@ class SequentialSimulator:
                 data = value[gates[ff].fanin[0]]
                 if data != eval_value[ff]:
                     eval_value[ff] = data
+                    capture_log[(ff, event.n)] = data
                     emit(event.time + gates[ff].delay, ff, data)
                 continue
             # STIM and SIG both apply an output change, then fan out.
@@ -160,4 +167,8 @@ class SequentialSimulator:
             final_values=value,
             execution_time=self.cost_model.execution_time(events_processed),
             trace=self.trace,
+            committed_captures=sorted(
+                (gate, cycle, data)
+                for (gate, cycle), data in capture_log.items()
+            ),
         )

@@ -26,12 +26,14 @@ from repro.warped.stats import (
     render_utilization_timeline,
 )
 from repro.warped.kernel import TimeWarpSimulator
+from repro.warped.parallel import ProcessTimeWarpSimulator
 
 __all__ = [
     "FastEthernet",
     "Message",
     "NetworkModel",
     "NodeStats",
+    "ProcessTimeWarpSimulator",
     "TimeWarpCostModel",
     "TimeWarpResult",
     "TimeWarpSimulator",

@@ -117,6 +117,11 @@ class TimeWarpSimulator:
 
         flight_seq = 0
         trace = self.trace_hook
+        # Committed DFF captures: (gate, cycle) -> value captured.
+        # Entries are removed when their record is rolled back, so at
+        # quiescence the log is exactly the committed capture history
+        # (the cross-backend differential invariant).
+        capture_log: dict[tuple[int, int], int] = {}
         counters = {
             "events": 0,
             "rolled_back": 0,
@@ -240,6 +245,8 @@ class TimeWarpSimulator:
                     undone_records.append(lp.undo_last())
             undone = len(undone_records)
             for record in undone_records:
+                if record.msg.prio == CAPTURE:
+                    capture_log.pop((record.msg.dest, record.msg.n), None)
                 if cancel_uid is not None and record.msg.uid == cancel_uid:
                     if trace:
                         trace("annihilate_processed", record.msg.uid)
@@ -521,6 +528,8 @@ class TimeWarpSimulator:
             record = lp.process(msg, next_uid)
             if trace:
                 trace("process", msg.uid, msg.dest, msg.key)
+            if msg.prio == CAPTURE and record.old_output != lp.output_value:
+                capture_log[(msg.dest, msg.n)] = lp.output_value
             counters["events"] += 1
             node_stats[node].events_processed += 1
             lp_activity[msg.dest] += 1.0
@@ -594,4 +603,8 @@ class TimeWarpSimulator:
             final_values=[lp.output_value for lp in lps],
             utilization_timeline=utilization_timeline,
             node_stats=node_stats,
+            committed_captures=sorted(
+                (gate, cycle, value)
+                for (gate, cycle), value in capture_log.items()
+            ),
         )

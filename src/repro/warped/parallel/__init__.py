@@ -1,0 +1,16 @@
+"""Multiprocess Time Warp backend: real OS processes, real messages.
+
+See :mod:`repro.warped.parallel.backend` for the execution model and
+:mod:`repro.warped.parallel.protocol` for the GVT token ring.
+"""
+
+from repro.warped.parallel.backend import ProcessTimeWarpSimulator
+from repro.warped.parallel.node import NodeEngine
+from repro.warped.parallel.protocol import GvtClerk, GvtToken
+
+__all__ = [
+    "GvtClerk",
+    "GvtToken",
+    "NodeEngine",
+    "ProcessTimeWarpSimulator",
+]

@@ -1,0 +1,387 @@
+"""The multiprocess Time Warp backend.
+
+:class:`ProcessTimeWarpSimulator` mirrors the constructor and ``run()``
+contract of the virtual :class:`~repro.warped.kernel.TimeWarpSimulator`
+but executes the simulation on **real OS processes**: one
+``multiprocessing`` worker per node, each hosting its partition's LP
+cluster behind a :class:`~repro.warped.parallel.node.NodeEngine`.
+Signal and anti-messages travel over per-node ``multiprocessing``
+queues; GVT is computed by the colored token ring of
+:mod:`repro.warped.parallel.protocol` and broadcast for fossil
+collection; a GVT of ``+inf`` proves quiescence and shuts the ring
+down.
+
+Timing semantics differ from the virtual backend by design: the
+virtual machine *models* a cluster's clock deterministically, while
+this backend reports **measured** wall-clock per node.  Committed
+simulation results (final signal values, DFF capture history) are
+identical between the two — rollback makes the outcome independent of
+message interleaving — and the differential test layer holds both
+backends to that.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import time
+import traceback
+
+from repro.circuit.graph import CircuitGraph
+from repro.errors import ConfigError, SimulationError
+from repro.partition.assignment import PartitionAssignment
+from repro.sim.stimulus import Stimulus
+from repro.warped.machine import VirtualMachine
+from repro.warped.parallel.node import NodeEngine
+from repro.warped.parallel.protocol import (
+    DONE,
+    ERROR,
+    GVT,
+    MSG,
+    TOKEN,
+    T_INF,
+    GvtClerk,
+    GvtToken,
+)
+from repro.warped.stats import NodeStats, TimeWarpResult
+
+#: Local events processed between inbox polls (rollback responsiveness
+#: vs. polling overhead).
+_BATCH = 16
+#: Blocking-receive timeout when a node has nothing processable (s).
+_IDLE_WAIT = 0.005
+#: Minimum spacing between idle-triggered GVT computations (s).
+_IDLE_GVT_SPACING = 0.001
+
+
+def _worker_main(
+    node: int,
+    num_nodes: int,
+    circuit: CircuitGraph,
+    assignment: list[int],
+    stimulus: Stimulus,
+    optimism_window: int | None,
+    gvt_interval: int,
+    max_events: int,
+    inboxes,
+    result_queue,
+) -> None:
+    """Entry point of one node process."""
+    try:
+        _run_node(
+            node, num_nodes, circuit, assignment, stimulus,
+            optimism_window, gvt_interval, max_events,
+            inboxes, result_queue,
+        )
+    except BaseException:  # noqa: BLE001 - ship the diagnosis to the parent
+        result_queue.put((ERROR, node, traceback.format_exc()))
+
+
+def _run_node(
+    node: int,
+    num_nodes: int,
+    circuit: CircuitGraph,
+    assignment: list[int],
+    stimulus: Stimulus,
+    optimism_window: int | None,
+    gvt_interval: int,
+    max_events: int,
+    inboxes,
+    result_queue,
+) -> None:
+    start = time.perf_counter()
+    busy = 0.0
+    engine = NodeEngine(
+        circuit, assignment, node, num_nodes, stimulus,
+        optimism_window=optimism_window, max_events=max_events,
+    )
+    clerk = GvtClerk(node=node)
+    engine.schedule_initial()
+    inbox = inboxes[node]
+    gvt = 0.0
+    done = False
+    # Initiator (node 0) state.
+    active_cid = 0      # computation in progress (0 = none)
+    next_cid = 0
+    since_gvt = 0
+    gvt_computations = 0
+    last_initiate = 0.0
+
+    def flush_outbox() -> None:
+        for dest, msg in engine.outbox:
+            color = clerk.note_send(msg.time)
+            inboxes[dest].put((MSG, color, msg))
+        engine.outbox.clear()
+
+    def local_min() -> float:
+        t = engine.min_pending()
+        return T_INF if t is None else float(t)
+
+    def apply_gvt(value: float) -> None:
+        nonlocal gvt, done
+        engine.fossil_collect(value)
+        if value == T_INF:
+            done = True
+        else:
+            gvt = value
+
+    def conclude(token: GvtToken) -> None:
+        """Initiator: finish or extend the computation *token* closes."""
+        nonlocal active_cid, since_gvt, gvt_computations
+        if token.conclusive:
+            value = token.gvt
+            gvt_computations += 1
+            for other in range(num_nodes):
+                if other != node:
+                    inboxes[other].put((GVT, token.cid, value))
+            active_cid = 0
+            since_gvt = 0
+            clerk.forget_before(token.cid)
+            apply_gvt(value)
+        else:
+            fresh = GvtToken(cid=token.cid)
+            clerk.fold_token(fresh, local_min())
+            inboxes[(node + 1) % num_nodes].put((TOKEN, fresh))
+
+    def handle(item) -> None:
+        tag = item[0]
+        if tag == MSG:
+            _, color, msg = item
+            clerk.note_receive(color)
+            engine.handle_remote(msg)
+            flush_outbox()  # a straggler's rollback emits anti-messages
+        elif tag == TOKEN:
+            token = item[1]
+            if node == 0 and token.cid == active_cid:
+                conclude(token)  # the round came home
+            else:
+                clerk.fold_token(token, local_min())
+                inboxes[(node + 1) % num_nodes].put((TOKEN, token))
+        elif tag == GVT:
+            apply_gvt(item[2])
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"node {node}: unknown wire item {item!r}")
+
+    while not done:
+        # 1. Drain everything the transport has delivered.
+        while not done:
+            try:
+                item = inbox.get_nowait()
+            except queue_mod.Empty:
+                break
+            handle(item)
+        if done:
+            break
+
+        # 2. Optimistically process a slice of local events.
+        worked = 0
+        while worked < _BATCH and engine.processable(gvt):
+            t0 = time.perf_counter()
+            engine.process_one()
+            flush_outbox()
+            busy += time.perf_counter() - t0
+            worked += 1
+            since_gvt += 1
+
+        # 3. Initiator: start a GVT computation when one is due.  Idle
+        # or window-throttled nodes need GVT to advance (or prove
+        # quiescence), so initiation is also idleness-triggered.
+        if node == 0 and not active_cid:
+            now = time.perf_counter()
+            idle = not engine.processable(gvt)
+            if since_gvt >= gvt_interval or (
+                idle and now - last_initiate >= _IDLE_GVT_SPACING
+            ):
+                next_cid += 1
+                active_cid = next_cid
+                last_initiate = now
+                token = GvtToken(cid=active_cid)
+                clerk.fold_token(token, local_min())
+                if num_nodes == 1:
+                    conclude(token)
+                else:
+                    inboxes[1].put((TOKEN, token))
+
+        # 4. Nothing processable and nothing drained: wait for the wire.
+        if not worked:
+            try:
+                item = inbox.get(timeout=_IDLE_WAIT)
+            except queue_mod.Empty:
+                continue
+            handle(item)
+
+    engine.check_quiescent()
+    wall = time.perf_counter() - start
+    stats = engine.stats
+    stats.wall_time = wall
+    stats.busy_time = busy
+    result_queue.put(
+        (
+            DONE,
+            node,
+            {
+                "stats": stats,
+                "counters": engine.counters,
+                "final_values": engine.final_values(),
+                "captures": dict(engine.capture_log),
+                "peak_history": engine.peak_history,
+                "gvt_rounds": gvt_computations,
+                "pid": os.getpid(),
+            },
+        )
+    )
+
+
+class ProcessTimeWarpSimulator:
+    """Run one circuit under one partition on real OS processes.
+
+    Accepts the same (circuit, assignment, stimulus, machine) quadruple
+    as the virtual backend.  The machine's ``num_nodes``,
+    ``gvt_interval`` and ``optimism_window`` govern the run; its cost
+    and network models are ignored (this backend measures real time).
+    Policies the process backend does not implement (lazy cancellation,
+    periodic checkpointing, LP migration) are rejected up front.
+    """
+
+    def __init__(
+        self,
+        circuit: CircuitGraph,
+        assignment: PartitionAssignment,
+        stimulus: Stimulus,
+        machine: VirtualMachine,
+        *,
+        max_events: int = 50_000_000,
+        timeout: float = 120.0,
+    ) -> None:
+        if not circuit.frozen:
+            raise SimulationError("circuit must be frozen")
+        if assignment.circuit is not circuit:
+            raise SimulationError("assignment was built for a different circuit")
+        if stimulus.circuit is not circuit:
+            raise SimulationError("stimulus was built for a different circuit")
+        if assignment.k != machine.num_nodes:
+            raise SimulationError(
+                f"partition has k={assignment.k} but machine has "
+                f"{machine.num_nodes} nodes"
+            )
+        if machine.cancellation != "aggressive":
+            raise ConfigError(
+                "process backend implements aggressive cancellation only"
+            )
+        if machine.checkpoint_interval is not None:
+            raise ConfigError(
+                "process backend implements incremental state saving only"
+            )
+        if machine.migration_threshold is not None:
+            raise ConfigError("process backend does not migrate LPs")
+        self.circuit = circuit
+        self.assignment = assignment
+        self.stimulus = stimulus
+        self.machine = machine
+        self.max_events = max_events
+        self.timeout = timeout
+        #: OS pid of each worker after a run — evidence the simulation
+        #: really executed on separate processes.
+        self.worker_pids: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> TimeWarpResult:
+        """Simulate to quiescence across the worker ring."""
+        n = self.machine.num_nodes
+        ctx = mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        inboxes = [ctx.Queue() for _ in range(n)]
+        results = ctx.Queue()
+        workers = [
+            ctx.Process(
+                target=_worker_main,
+                args=(
+                    node, n, self.circuit, list(self.assignment.assignment),
+                    self.stimulus, self.machine.optimism_window,
+                    self.machine.gvt_interval, self.max_events,
+                    inboxes, results,
+                ),
+                daemon=True,
+                name=f"timewarp-node-{node}",
+            )
+            for node in range(n)
+        ]
+        for worker in workers:
+            worker.start()
+        payloads: dict[int, dict] = {}
+        deadline = time.monotonic() + self.timeout
+        try:
+            while len(payloads) < n:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise SimulationError(
+                        f"process backend timed out after {self.timeout:.0f}s "
+                        f"({len(payloads)}/{n} nodes reported)"
+                    )
+                try:
+                    item = results.get(timeout=min(remaining, 0.5))
+                except queue_mod.Empty:
+                    if any(not w.is_alive() for w in workers) and results.empty():
+                        raise SimulationError(
+                            "a node process died without reporting"
+                        ) from None
+                    continue
+                tag = item[0]
+                if tag == ERROR:
+                    raise SimulationError(
+                        f"node {item[1]} failed:\n{item[2]}"
+                    )
+                payloads[item[1]] = item[2]
+        finally:
+            for worker in workers:
+                worker.join(timeout=5.0)
+                if worker.is_alive():  # pragma: no cover - cleanup path
+                    worker.terminate()
+                    worker.join(timeout=5.0)
+            for q in (*inboxes, results):
+                q.cancel_join_thread()
+                q.close()
+        return self._assemble(payloads)
+
+    # ------------------------------------------------------------------
+    def _assemble(self, payloads: dict[int, dict]) -> TimeWarpResult:
+        n = self.machine.num_nodes
+        self.worker_pids = {i: payloads[i]["pid"] for i in range(n)}
+        node_stats: list[NodeStats] = [payloads[i]["stats"] for i in range(n)]
+        totals = {
+            key: sum(payloads[i]["counters"][key] for i in range(n))
+            for key in payloads[0]["counters"]
+        }
+        final_values = [0] * self.circuit.num_gates
+        for payload in payloads.values():
+            for index, value in payload["final_values"].items():
+                final_values[index] = value
+        captures: dict[tuple[int, int], int] = {}
+        for payload in payloads.values():
+            captures.update(payload["captures"])
+        return TimeWarpResult(
+            circuit_name=self.circuit.name,
+            algorithm=self.assignment.algorithm,
+            num_nodes=n,
+            num_cycles=self.stimulus.num_cycles,
+            execution_time=max(s.wall_time for s in node_stats),
+            events_processed=totals["events"],
+            events_rolled_back=totals["rolled_back"],
+            rollbacks=totals["rollbacks"],
+            app_messages=totals["app_messages"],
+            anti_messages=totals["anti_messages"],
+            local_messages=totals["local_messages"],
+            gvt_rounds=payloads[0]["gvt_rounds"],
+            lazy_reuses=0,
+            peak_history=sum(p["peak_history"] for p in payloads.values()),
+            migrations=0,
+            final_values=final_values,
+            node_stats=node_stats,
+            committed_captures=sorted(
+                (gate, cycle, value)
+                for (gate, cycle), value in captures.items()
+            ),
+            backend="process",
+        )

@@ -1,0 +1,272 @@
+"""The Time Warp engine one worker process runs over its LP cluster.
+
+This is the single-node core of the protocol the virtual kernel
+(:mod:`repro.warped.kernel`) executes for the whole machine: the same
+:class:`~repro.warped.lp.LogicalProcess` state saving, the same
+:class:`~repro.warped.queues.NodeQueue`, the same eager rollback with
+iterative cancellation cascades.  What differs is the boundary — remote
+sends leave through an outbox the hosting worker loop flushes onto real
+``multiprocessing`` queues, and stragglers/anti-messages arrive whenever
+the transport delivers them, not on a modelled clock.
+
+The engine is transport-agnostic on purpose: unit tests drive two
+engines in one process by shuttling their outboxes by hand, and the
+worker loop in :mod:`repro.warped.parallel.backend` drives it across
+real OS processes.  Results are interleaving-independent either way —
+that is Time Warp's correctness argument, and what the differential
+suite checks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.circuit.gate import FALSE
+from repro.circuit.graph import CircuitGraph
+from repro.errors import SimulationError
+from repro.sim.event import CAPTURE, SIG, STIM
+from repro.sim.stimulus import Stimulus
+from repro.warped.lp import LogicalProcess
+from repro.warped.messages import ANTI, Message
+from repro.warped.queues import NodeQueue
+from repro.warped.stats import NodeStats
+
+
+class NodeEngine:
+    """Optimistic executive for the LPs of one node."""
+
+    def __init__(
+        self,
+        circuit: CircuitGraph,
+        assignment: list[int],
+        node: int,
+        num_nodes: int,
+        stimulus: Stimulus,
+        *,
+        optimism_window: int | None = None,
+        max_events: int = 50_000_000,
+    ) -> None:
+        self.circuit = circuit
+        self.assignment = assignment
+        self.node = node
+        self.num_nodes = num_nodes
+        self.stimulus = stimulus
+        self.window = optimism_window
+        self.max_events = max_events
+        #: LPs hosted here, keyed by gate index.
+        self.lps: dict[int, LogicalProcess] = {
+            gate.index: LogicalProcess(gate, node)
+            for gate in circuit.gates
+            if assignment[gate.index] == node
+        }
+        self.queue = NodeQueue()
+        self.stats = NodeStats(node=node, num_lps=len(self.lps))
+        #: Remote messages produced since the last drain: (dest_node,
+        #: Message) in emission order.  The worker loop owns the wire.
+        self.outbox: list[tuple[int, Message]] = []
+        #: Anti-messages that beat their positive copy to this node.
+        self._waiting_antis: dict[int, Message] = {}
+        self._pending_cancels: deque[Message] = deque()
+        #: Committed DFF captures: (gate, cycle) -> captured value.
+        #: Entries for rolled-back captures are removed on undo, so at
+        #: quiescence the log holds exactly the committed capture
+        #: history — the quantity the differential suite compares.
+        self.capture_log: dict[tuple[int, int], int] = {}
+        #: Largest local history (sum of LP record counts) seen at any
+        #: fossil-collection point.
+        self.peak_history = 0
+        self.counters = {
+            "events": 0,
+            "rolled_back": 0,
+            "rollbacks": 0,
+            "app_messages": 0,
+            "anti_messages": 0,
+            "local_messages": 0,
+        }
+        # Globally unique uids without coordination: stride by node.
+        self._uid_next = node + 1
+
+    # ------------------------------------------------------------------
+    def _next_uid(self) -> int:
+        uid = self._uid_next
+        self._uid_next += self.num_nodes
+        return uid
+
+    def owner(self, gate_index: int) -> int:
+        return self.assignment[gate_index]
+
+    # ------------------------------------------------------------------
+    def schedule_initial(self) -> None:
+        """Self-schedule every initial message destined to a local LP.
+
+        Mirrors the virtual kernel's initial schedule (DFF power-up
+        resets, per-cycle captures, primary-input stimulus).  Each node
+        creates only the copies *addressed to it*, so startup needs no
+        cross-process traffic at all — the stimulus object is a pure
+        function of its seed, replicated into every worker.
+        """
+        circuit = self.circuit
+        stim = self.stimulus
+        local = self.lps
+        for ff in circuit.dffs:
+            for sink in dict.fromkeys(circuit.gates[ff].fanout):
+                if sink in local:
+                    self.queue.push(
+                        Message(0, SIG, ff, 0, FALSE, sink, self._next_uid())
+                    )
+        for cycle in range(stim.num_cycles):
+            t = stim.cycle_time(cycle)
+            if cycle > 0:
+                for ff in circuit.dffs:
+                    if ff in local:
+                        self.queue.push(
+                            Message(t, CAPTURE, ff, cycle, 0, ff, self._next_uid())
+                        )
+            for pi in circuit.primary_inputs:
+                if pi in local:
+                    self.queue.push(
+                        Message(
+                            t, STIM, pi, cycle, stim.value(pi, cycle),
+                            pi, self._next_uid(),
+                        )
+                    )
+
+    # ------------------------------------------------------------------
+    # rollback / cancellation (aggressive, incremental state saving)
+    # ------------------------------------------------------------------
+    def _dispatch_anti(self, em: Message) -> None:
+        """Cancel emission *em* wherever its positive copy went."""
+        if self.owner(em.dest) == self.node:
+            self._pending_cancels.append(em)
+        else:
+            self.outbox.append((self.owner(em.dest), em.make_anti()))
+            self.counters["anti_messages"] += 1
+            self.stats.anti_messages_sent += 1
+
+    def _rollback(self, lp: LogicalProcess, to_key, cancel_uid: int | None) -> None:
+        undone = 0
+        while lp.last_key >= to_key:
+            record = lp.undo_last()
+            undone += 1
+            msg = record.msg
+            if msg.prio == CAPTURE:
+                self.capture_log.pop((msg.dest, msg.n), None)
+            if cancel_uid is not None and msg.uid == cancel_uid:
+                pass  # the annihilated positive: not re-enqueued
+            else:
+                self.queue.push(msg)
+            for em in record.emissions:
+                self._dispatch_anti(em)
+        self.counters["rollbacks"] += 1
+        self.counters["rolled_back"] += undone
+        self.stats.rollbacks += 1
+        self.stats.events_rolled_back += undone
+
+    def _apply_cancel(self, em: Message) -> None:
+        lp = self.lps[em.dest]
+        if self.queue.contains_uid(em.uid):
+            self.queue.annihilate(em.uid)
+        elif em.uid in lp.processed_uids:
+            self._rollback(lp, em.key, cancel_uid=em.uid)
+        else:
+            self._waiting_antis[em.uid] = em
+
+    def _drain_cancels(self) -> None:
+        while self._pending_cancels:
+            self._apply_cancel(self._pending_cancels.popleft())
+
+    def _insert_positive(self, msg: Message) -> None:
+        if msg.uid in self._waiting_antis:
+            del self._waiting_antis[msg.uid]
+            return
+        lp = self.lps[msg.dest]
+        if msg.key <= lp.last_key:
+            self._rollback(lp, msg.key, cancel_uid=None)
+        self.queue.push(msg)
+
+    # ------------------------------------------------------------------
+    # the worker loop's surface
+    # ------------------------------------------------------------------
+    def handle_remote(self, msg: Message) -> None:
+        """Ingest one message delivered by the transport."""
+        if self.owner(msg.dest) != self.node:
+            raise SimulationError(
+                f"node {self.node} received message for gate {msg.dest} "
+                f"owned by node {self.owner(msg.dest)}"
+            )
+        if msg.sign == ANTI:
+            self._apply_cancel(msg)
+        else:
+            self._insert_positive(msg)
+        self._drain_cancels()
+
+    def min_pending(self) -> int | None:
+        """Virtual time of the earliest pending event (None = idle)."""
+        return self.queue.min_time()
+
+    def processable(self, gvt: float) -> bool:
+        """True iff the next pending event is inside the optimism window."""
+        t = self.queue.min_time()
+        if t is None:
+            return False
+        return self.window is None or t <= gvt + self.window
+
+    def process_one(self) -> int:
+        """Process the earliest pending event; returns remote sends made.
+
+        New remote messages land in :attr:`outbox`; the caller flushes
+        them to the wire (stamping GVT colors on the way out).
+        """
+        msg = self.queue.pop()
+        lp = self.lps[msg.dest]
+        record = lp.process(msg, self._next_uid)
+        self.counters["events"] += 1
+        self.stats.events_processed += 1
+        if self.counters["events"] > self.max_events:
+            raise SimulationError(
+                f"node {self.node} exceeded max_events={self.max_events}; "
+                "thrashing rollbacks or workload too large"
+            )
+        if msg.prio == CAPTURE and record.old_output != lp.output_value:
+            self.capture_log[(msg.dest, msg.n)] = lp.output_value
+        remote = 0
+        for em in record.emissions:
+            dest_node = self.owner(em.dest)
+            if dest_node == self.node:
+                self.counters["local_messages"] += 1
+                self.stats.messages_sent_local += 1
+                self._insert_positive(em)
+            else:
+                self.outbox.append((dest_node, em))
+                self.counters["app_messages"] += 1
+                self.stats.messages_sent_remote += 1
+                remote += 1
+        self._drain_cancels()
+        return remote
+
+    def fossil_collect(self, gvt: float) -> None:
+        """Free history below *gvt* (records the high-water mark first)."""
+        history = sum(len(lp.processed) for lp in self.lps.values())
+        if history > self.peak_history:
+            self.peak_history = history
+        if gvt != float("inf"):
+            for lp in self.lps.values():
+                lp.fossil_collect(int(gvt))
+
+    # ------------------------------------------------------------------
+    def check_quiescent(self) -> None:
+        """Invariant checks once GVT reached +inf."""
+        if self._waiting_antis:
+            raise SimulationError(
+                f"node {self.node}: {len(self._waiting_antis)} anti-messages "
+                "never met their positive copies — kernel invariant broken"
+            )
+        if self.queue:
+            raise SimulationError(
+                f"node {self.node}: {len(self.queue)} events still pending "
+                "after quiescence GVT — protocol invariant broken"
+            )
+
+    def final_values(self) -> dict[int, int]:
+        """Quiescent output value of every local LP."""
+        return {index: lp.output_value for index, lp in self.lps.items()}

@@ -84,6 +84,15 @@ class TimeWarpResult:
     utilization_timeline: list[tuple[float, list[float]]] = field(
         default_factory=list
     )
+    #: Committed DFF capture history as sorted (gate, cycle, value)
+    #: triples — one entry per capture that changed the flip-flop's
+    #: output.  Identical across the sequential kernel and both Time
+    #: Warp backends; the differential test layer compares it directly.
+    committed_captures: list[tuple[int, int, int]] | None = None
+    #: Which execution substrate produced this result: "virtual" (the
+    #: deterministic modelled machine) or "process" (real OS processes,
+    #: measured wall-clock).
+    backend: str = "virtual"
 
     @property
     def events_committed(self) -> int:

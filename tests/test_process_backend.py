@@ -1,0 +1,269 @@
+"""Unit and integration tests for the multiprocess Time Warp backend.
+
+Three layers, cheapest first: the GVT token protocol as pure logic, the
+per-node engine driven transport-free inside one process, and the real
+``multiprocessing`` backend end to end (separate OS pids and all).
+Cross-backend result equivalence lives in
+``test_differential_backends.py``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.partition.registry import get_partitioner
+from repro.sim import RandomStimulus, SequentialSimulator
+from repro.warped import ProcessTimeWarpSimulator, TimeWarpSimulator, VirtualMachine
+from repro.warped.messages import Message
+from repro.warped.parallel import GvtClerk, GvtToken, NodeEngine
+from repro.warped.parallel.protocol import T_INF
+
+
+# ----------------------------------------------------------------------
+# GVT protocol logic (no processes, no queues)
+# ----------------------------------------------------------------------
+class TestGvtProtocol:
+    def test_send_receive_balance(self):
+        clerk = GvtClerk(node=0)
+        assert clerk.note_send(100) == 0  # color = not-yet-joined cid 0
+        clerk.note_send(50)
+        clerk.note_receive(0)
+        # Computation 1: the two sends and one receive are all white.
+        assert clerk.white_balance(1) == 1
+
+    def test_fold_token_turns_red_and_tracks_send_min(self):
+        clerk = GvtClerk(node=1)
+        clerk.note_send(40)                      # white for cid 1
+        token = GvtToken(cid=1)
+        clerk.fold_token(token, local_min=75.0)
+        assert clerk.cur_cid == 1
+        assert token.m_clock == 75.0
+        assert token.m_send == T_INF             # nothing sent red yet
+        assert token.count == 1                  # the white send
+        clerk.note_send(60)                      # now colored 1 = red
+        token2 = GvtToken(cid=1)
+        clerk.fold_token(token2, local_min=75.0)
+        assert token2.m_send == 60
+
+    def test_conclusive_round_yields_min(self):
+        token = GvtToken(cid=3)
+        token.fold(local_min=120.0, red_min=90.0, white_balance=0)
+        token.fold(local_min=80.0, red_min=T_INF, white_balance=0)
+        assert token.conclusive
+        assert token.gvt == 80.0
+
+    def test_inconclusive_round_when_whites_in_flight(self):
+        sender = GvtClerk(node=0)
+        receiver = GvtClerk(node=1)
+        sender.note_send(10)  # in flight: receiver has not seen it
+        token = GvtToken(cid=1)
+        sender.fold_token(token, local_min=T_INF)
+        receiver.fold_token(token, local_min=T_INF)
+        assert not token.conclusive  # count == 1: retry the round
+        receiver.note_receive(0)
+        token2 = GvtToken(cid=1)
+        sender.fold_token(token2, local_min=T_INF)
+        receiver.fold_token(token2, local_min=T_INF)
+        assert token2.conclusive
+        assert token2.gvt == T_INF
+
+    def test_two_node_ring_quiesces_to_infinity(self):
+        """Full protocol walk: messages drain, then GVT proves it."""
+        clerks = [GvtClerk(node=i) for i in range(2)]
+        color = clerks[0].note_send(30)
+        clerks[1].note_receive(color)
+        for cid in (1, 2):
+            token = GvtToken(cid=cid)
+            for clerk in clerks:
+                clerk.fold_token(token, local_min=T_INF)
+            assert token.conclusive
+            assert token.gvt == T_INF
+            clerks[0].forget_before(cid)
+
+    def test_forget_before_preserves_balances(self):
+        clerk = GvtClerk(node=0)
+        clerk.note_send(10)
+        clerk.cur_cid = 1
+        clerk.note_send(20)
+        clerk.cur_cid = 5
+        clerk.note_receive(0)
+        before = clerk.white_balance(6)
+        clerk.forget_before(5)
+        assert clerk.white_balance(6) == before
+        assert len(clerk.sent) <= 2
+
+
+# ----------------------------------------------------------------------
+# NodeEngine, transport-free (deterministic in-process shuttling)
+# ----------------------------------------------------------------------
+def _drive_engines(circuit, assignment, k, stimulus):
+    """Run k engines to quiescence, shuttling outboxes by hand.
+
+    Each round's messages are held back one round, which manufactures
+    stragglers and exercises the rollback/anti-message paths.
+    """
+    engines = [
+        NodeEngine(circuit, assignment, node, k, stimulus) for node in range(k)
+    ]
+    for engine in engines:
+        engine.schedule_initial()
+    in_flight: list[tuple[int, Message]] = []
+    for _ in range(200_000):
+        delivering, in_flight = in_flight, []
+        for dest, msg in delivering:
+            engines[dest].handle_remote(msg)
+        for engine in engines:
+            for _ in range(4):
+                if engine.min_pending() is None:
+                    break
+                engine.process_one()
+            in_flight.extend(engine.outbox)
+            engine.outbox.clear()
+        if not in_flight and all(e.min_pending() is None for e in engines):
+            break
+    else:  # pragma: no cover - would be a livelock bug
+        raise AssertionError("engines failed to quiesce")
+    for engine in engines:
+        engine.check_quiescent()
+    return engines
+
+
+class TestNodeEngine:
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_engines_reach_sequential_fixpoint(self, s27, k):
+        stimulus = RandomStimulus(s27, num_cycles=15, period=20, seed=11)
+        sequential = SequentialSimulator(s27, stimulus).run()
+        assignment = get_partitioner("DFS", seed=1).partition(s27, k)
+        engines = _drive_engines(s27, assignment.assignment, k, stimulus)
+        values = {}
+        captures = {}
+        for engine in engines:
+            values.update(engine.final_values())
+            captures.update(engine.capture_log)
+        assert [values[i] for i in range(s27.num_gates)] == sequential.final_values
+        assert sorted(
+            (g, c, v) for (g, c), v in captures.items()
+        ) == sequential.committed_captures
+
+    def test_delayed_delivery_causes_rollbacks(self, s27):
+        stimulus = RandomStimulus(s27, num_cycles=15, period=20, seed=11)
+        assignment = get_partitioner("Random", seed=4).partition(s27, 3)
+        engines = _drive_engines(s27, assignment.assignment, 3, stimulus)
+        assert sum(e.counters["rollbacks"] for e in engines) > 0
+
+    def test_misrouted_message_rejected(self, s27):
+        stimulus = RandomStimulus(s27, num_cycles=3, seed=0)
+        assignment = get_partitioner("Random", seed=4).partition(s27, 2)
+        engine = NodeEngine(s27, assignment.assignment, 0, 2, stimulus)
+        foreign = next(
+            i for i, node in enumerate(assignment.assignment) if node == 1
+        )
+        with pytest.raises(SimulationError, match="owned by node"):
+            engine.handle_remote(Message(5, 2, 0, 0, 1, foreign, 999))
+
+
+# ----------------------------------------------------------------------
+# The real multiprocess backend
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def s27_setup():
+    from repro.circuit.netlists import load_s27
+
+    circuit = load_s27()
+    stimulus = RandomStimulus(circuit, num_cycles=20, period=20, seed=5)
+    sequential = SequentialSimulator(circuit, stimulus).run()
+    return circuit, stimulus, sequential
+
+
+class TestProcessBackend:
+    def test_runs_on_distinct_os_processes(self, s27_setup):
+        circuit, stimulus, sequential = s27_setup
+        assignment = get_partitioner("Multilevel", seed=3).partition(circuit, 2)
+        sim = ProcessTimeWarpSimulator(
+            circuit, assignment, stimulus, VirtualMachine(num_nodes=2, gvt_interval=32)
+        )
+        result = sim.run()
+        assert result.backend == "process"
+        assert len(set(sim.worker_pids.values())) == 2
+        assert os.getpid() not in sim.worker_pids.values()
+        assert result.final_values == sequential.final_values
+        assert result.committed_captures == sequential.committed_captures
+
+    def test_stats_shapes_match_virtual_backend(self, s27_setup):
+        circuit, stimulus, _ = s27_setup
+        assignment = get_partitioner("Cluster", seed=3).partition(circuit, 3)
+        machine = VirtualMachine(num_nodes=3, gvt_interval=32)
+        result = ProcessTimeWarpSimulator(
+            circuit, assignment, stimulus, machine
+        ).run()
+        assert len(result.node_stats) == 3
+        assert [s.node for s in result.node_stats] == [0, 1, 2]
+        assert sum(s.num_lps for s in result.node_stats) == circuit.num_gates
+        assert sum(s.events_processed for s in result.node_stats) == (
+            result.events_processed
+        )
+        assert result.events_committed > 0
+        assert result.gvt_rounds >= 1
+        assert all(s.wall_time > 0 for s in result.node_stats)
+        assert 0 < result.efficiency <= 1.0
+        # The summary line renders without error on measured numbers.
+        assert circuit.name in result.summary()
+
+    def test_optimism_window_respected(self, s27_setup):
+        circuit, stimulus, sequential = s27_setup
+        assignment = get_partitioner("Topological", seed=3).partition(circuit, 2)
+        machine = VirtualMachine(
+            num_nodes=2, gvt_interval=16, optimism_window=40
+        )
+        result = ProcessTimeWarpSimulator(
+            circuit, assignment, stimulus, machine
+        ).run()
+        assert result.final_values == sequential.final_values
+
+    def test_single_node_degenerate_ring(self, s27_setup):
+        circuit, stimulus, sequential = s27_setup
+        assignment = get_partitioner("Random", seed=1).partition(circuit, 1)
+        result = ProcessTimeWarpSimulator(
+            circuit, assignment, stimulus, VirtualMachine(num_nodes=1)
+        ).run()
+        assert result.final_values == sequential.final_values
+        assert result.rollbacks == 0
+        assert result.app_messages == 0
+
+    def test_rejects_unsupported_policies(self, s27_setup):
+        circuit, stimulus, _ = s27_setup
+        assignment = get_partitioner("Random", seed=1).partition(circuit, 2)
+
+        def build(**kw):
+            return ProcessTimeWarpSimulator(
+                circuit, assignment, stimulus,
+                VirtualMachine(num_nodes=2, **kw),
+            )
+
+        with pytest.raises(ConfigError, match="aggressive"):
+            build(cancellation="lazy")
+        with pytest.raises(ConfigError, match="incremental"):
+            build(checkpoint_interval=8)
+        with pytest.raises(ConfigError, match="migrate"):
+            build(migration_threshold=1.5)
+
+    def test_rejects_node_count_mismatch(self, s27_setup):
+        circuit, stimulus, _ = s27_setup
+        assignment = get_partitioner("Random", seed=1).partition(circuit, 2)
+        with pytest.raises(SimulationError, match="k=2"):
+            ProcessTimeWarpSimulator(
+                circuit, assignment, stimulus, VirtualMachine(num_nodes=3)
+            )
+
+    def test_worker_failure_surfaces_as_simulation_error(self, s27_setup):
+        circuit, stimulus, _ = s27_setup
+        assignment = get_partitioner("Random", seed=1).partition(circuit, 2)
+        sim = ProcessTimeWarpSimulator(
+            circuit, assignment, stimulus,
+            VirtualMachine(num_nodes=2), max_events=10,
+        )
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run()

@@ -23,7 +23,11 @@ from repro.partition.multilevel.refine_greedy import cut_weight, greedy_refine
 from repro.sim import RandomStimulus, SequentialSimulator
 from repro.conservative import ConservativeSimulator
 from repro.vhdl import elaborate, parse_vhdl, write_vhdl
-from repro.warped import TimeWarpSimulator, VirtualMachine
+from repro.warped import (
+    ProcessTimeWarpSimulator,
+    TimeWarpSimulator,
+    VirtualMachine,
+)
 
 # One shared strategy for small circuits: hypothesis drives the spec,
 # the generator guarantees structural validity (checked anyway).
@@ -167,6 +171,38 @@ def test_three_kernels_agree(spec, k):
     ).run()
     assert optimistic.final_values == sequential.final_values
     assert conservative.final_values == sequential.final_values
+
+
+@settings(max_examples=5, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    spec=specs,
+    k=st.integers(2, 4),
+    name=st.sampled_from(["Random", "Multilevel"]),
+)
+def test_process_backend_deterministic_and_sequential(spec, k, name):
+    """The multiprocess backend is a pure function of its seeds.
+
+    Committed results must not depend on OS scheduling: two runs on
+    real processes agree with each other and with the sequential
+    oracle, on final values and on the committed capture history.
+    """
+    circuit = generate_circuit(spec)
+    if k > circuit.num_gates:
+        k = circuit.num_gates
+    stimulus = RandomStimulus(circuit, num_cycles=8, seed=spec.seed % 997)
+    sequential = SequentialSimulator(circuit, stimulus).run()
+    assignment = get_partitioner(name, seed=2).partition(circuit, k)
+    machine = VirtualMachine(num_nodes=k, gvt_interval=64)
+    first, second = (
+        ProcessTimeWarpSimulator(circuit, assignment, stimulus, machine).run()
+        for _ in range(2)
+    )
+    for run in (first, second):
+        assert run.final_values == sequential.final_values
+        assert run.committed_captures == sequential.committed_captures
+    assert first.final_values == second.final_values
+    assert first.committed_captures == second.committed_captures
 
 
 @settings(max_examples=10, deadline=None,

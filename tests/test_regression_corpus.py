@@ -1,0 +1,32 @@
+"""Replay the committed fuzz-regression corpus.
+
+Each JSON file under ``tests/corpus/`` pins one simulation
+configuration that either exposed a kernel bug in the past (written by
+``tools/fuzz_kernels.py --corpus``) or was hand-picked to exercise a
+risky policy mix.  Replaying them through the same
+``repro.harness.regression.run_case`` path the fuzzer uses guarantees
+old findings stay fixed and the serialised format itself keeps
+loading.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness.regression import load_case, run_case
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_populated():
+    assert len(CORPUS) >= 8, "regression corpus went missing"
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_case_replays_clean(path):
+    case = load_case(path)
+    assert set(case) >= {"spec", "stimulus", "partitioner", "k", "engines"}
+    assert run_case(case) == [], case["description"]

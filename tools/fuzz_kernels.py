@@ -4,65 +4,74 @@
 Not part of the test suite (hypothesis covers the same invariants with
 bounded examples); run this for release-grade confidence:
 
-    python tools/fuzz_kernels.py [seconds] [seed]
+    python tools/fuzz_kernels.py [seconds] [seed] [--corpus DIR]
+                                 [--process-fraction F]
 
-Every iteration builds a random sequential circuit, partitions it with
-a random strategy, runs the Time Warp kernel under a random policy mix
-(window / cancellation / checkpointing / migration) and checks the
-final signal values against the sequential oracle; a quarter of the
-iterations also run the conservative kernel.
+Every iteration builds one serialisable *case* — a random sequential
+circuit, a random partitioner, and a random Time Warp policy mix
+(window / cancellation / checkpointing / migration) — and replays it
+through ``repro.harness.regression.run_case``, which checks every
+engine against the sequential oracle.  A quarter of the iterations add
+the conservative kernel; a slice (``--process-fraction``, default 5%)
+runs the real multiprocess backend instead.
+
+With ``--corpus DIR``, every failing case is written there as JSON in
+the exact format ``tests/test_regression_corpus.py`` replays — promote
+findings by committing the file under ``tests/corpus/``.
 """
 
-import sys
+import argparse
 import time
+import traceback
 
-from repro.circuit import GeneratorSpec, generate_circuit
-from repro.conservative import ConservativeSimulator
-from repro.partition.registry import all_partitioners, get_partitioner
-from repro.sim import RandomStimulus, SequentialSimulator
+from repro.harness.regression import run_case, write_case
+from repro.partition.registry import all_partitioners
 from repro.utils.rng import make_rng
-from repro.warped import TimeWarpSimulator, VirtualMachine
 
 
-def main() -> int:
-    budget = float(sys.argv[1]) if len(sys.argv) > 1 else 120.0
-    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 99
-    rng = make_rng(seed)
-    names = sorted(all_partitioners())
-    failures = 0
-    runs = 0
-    start = time.time()
-    while time.time() - start < budget:
-        spec = GeneratorSpec(
-            "fuzz",
-            int(rng.integers(2, 8)),
-            int(rng.integers(1, 6)),
-            int(rng.integers(25, 220)),
-            int(rng.integers(0, 16)),
-            depth=int(rng.integers(3, 12)),
-            unary_fraction=float(rng.uniform(0, 0.5)),
-            locality=float(rng.uniform(0.5, 1.0)),
-            seed=int(rng.integers(0, 2**31)),
-            delay_model=["unit", "typed", "random"][int(rng.integers(0, 3))],
-        )
-        circuit = generate_circuit(spec)
-        stimulus = RandomStimulus(
-            circuit,
-            num_cycles=int(rng.integers(6, 30)),
-            period=int(rng.integers(10, 120)),
-            seed=int(rng.integers(0, 2**31)),
-        )
-        sequential = SequentialSimulator(circuit, stimulus).run()
-        k = int(rng.integers(2, min(7, circuit.num_gates)))
-        name = names[int(rng.integers(0, len(names)))]
-        assignment = get_partitioner(
-            name, seed=int(rng.integers(0, 1000))
-        ).partition(circuit, k)
-        machine = VirtualMachine(
-            num_nodes=k,
-            optimism_window=(
+def random_case(rng, names, *, process: bool) -> dict:
+    """Draw one fuzz case. Process-backend cases stick to the policies
+    that backend supports (aggressive cancellation, incremental state
+    saving, no migration)."""
+    num_gates = int(rng.integers(25, 220))
+    case = {
+        "description": "fuzz-generated",
+        "spec": {
+            "name": "fuzz",
+            "num_inputs": int(rng.integers(2, 8)),
+            "num_outputs": int(rng.integers(1, 6)),
+            "num_gates": num_gates,
+            "num_dffs": int(rng.integers(0, 16)),
+            "depth": int(rng.integers(3, 12)),
+            "unary_fraction": float(rng.uniform(0, 0.5)),
+            "locality": float(rng.uniform(0.5, 1.0)),
+            "seed": int(rng.integers(0, 2**31)),
+            "delay_model": ["unit", "typed", "random"][int(rng.integers(0, 3))],
+        },
+        "stimulus": {
+            "num_cycles": int(rng.integers(6, 30)),
+            "period": int(rng.integers(10, 120)),
+            "seed": int(rng.integers(0, 2**31)),
+        },
+        "partitioner": names[int(rng.integers(0, len(names)))],
+        "partitioner_seed": int(rng.integers(0, 1000)),
+        "k": int(rng.integers(2, min(7, num_gates))),
+        "machine": {
+            "optimism_window": (
                 None if rng.random() < 0.4 else int(rng.integers(5, 200))
             ),
+            "gvt_interval": int(rng.integers(32, 1024)),
+        },
+        "engines": ["timewarp"],
+    }
+    if process:
+        # Smaller worlds: each case forks k OS processes.
+        case["spec"]["num_gates"] = int(rng.integers(25, 90))
+        case["stimulus"]["num_cycles"] = int(rng.integers(4, 12))
+        case["k"] = int(rng.integers(2, 5))
+        case["engines"] = ["process"]
+    else:
+        case["machine"].update(
             cancellation="lazy" if rng.random() < 0.4 else "aggressive",
             checkpoint_interval=(
                 None if rng.random() < 0.5 else int(rng.integers(1, 32))
@@ -70,23 +79,51 @@ def main() -> int:
             migration_threshold=(
                 None if rng.random() < 0.5 else float(rng.uniform(1.2, 3.0))
             ),
-            gvt_interval=int(rng.integers(32, 1024)),
         )
-        optimistic = TimeWarpSimulator(
-            circuit, assignment, stimulus, machine
-        ).run()
-        runs += 1
-        if optimistic.final_values != sequential.final_values:
-            failures += 1
-            print(f"TW FAIL: {spec} {name} k={k} {machine}", flush=True)
         if rng.random() < 0.25:
-            conservative = ConservativeSimulator(
-                circuit, assignment, stimulus, VirtualMachine(num_nodes=k)
-            ).run()
-            runs += 1
-            if conservative.final_values != sequential.final_values:
-                failures += 1
-                print(f"CMB FAIL: {spec} {name} k={k}", flush=True)
+            case["engines"].append("conservative")
+    return case
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("seconds", nargs="?", type=float, default=120.0)
+    parser.add_argument("seed", nargs="?", type=int, default=99)
+    parser.add_argument(
+        "--corpus", metavar="DIR", default=None,
+        help="write each failing case as replayable JSON under DIR",
+    )
+    parser.add_argument(
+        "--process-fraction", type=float, default=0.05,
+        help="fraction of iterations run on the multiprocess backend",
+    )
+    args = parser.parse_args()
+
+    rng = make_rng(args.seed)
+    names = sorted(all_partitioners())
+    failures = 0
+    runs = 0
+    start = time.time()
+    while time.time() - start < args.seconds:
+        case = random_case(
+            rng, names, process=rng.random() < args.process_fraction
+        )
+        try:
+            mismatches = run_case(case)
+        except Exception:
+            mismatches = [f"crash:\n{traceback.format_exc()}"]
+        runs += len(case["engines"])
+        if mismatches:
+            failures += 1
+            case["description"] = "; ".join(
+                m.splitlines()[0] for m in mismatches
+            )
+            print(f"FAIL {case['engines']}: {mismatches}", flush=True)
+            if args.corpus:
+                path = write_case(
+                    case, args.corpus, f"fuzz-{args.seed}-{runs}"
+                )
+                print(f"  wrote {path}", flush=True)
         if runs % 200 == 0:
             print(
                 f"... {runs} runs, {failures} failures, "
@@ -98,4 +135,6 @@ def main() -> int:
 
 
 if __name__ == "__main__":
+    import sys
+
     sys.exit(main())
