@@ -10,9 +10,12 @@ the modelled time so the two substrates can be eyeballed side by side.
 
 from __future__ import annotations
 
+import os
+
 from conftest import save_artifact
 
 from repro.harness.config import TABLE2_NODE_COUNTS
+from repro.obs import read_trace, render_trace_summary, summarize_trace
 from repro.utils.tables import format_table
 from repro.warped import ProcessTimeWarpSimulator, VirtualMachine
 
@@ -22,6 +25,7 @@ NODES = 4
 def test_process_backend_sweep(benchmark, runner, artifact_dir):
     def sweep():
         rows = []
+        reports = []
         for circuit_name in TABLE2_NODE_COUNTS:
             circuit = runner.circuit(circuit_name)
             stimulus = runner.stimulus(circuit_name)
@@ -30,11 +34,24 @@ def test_process_backend_sweep(benchmark, runner, artifact_dir):
             machine = VirtualMachine(
                 num_nodes=NODES, cost_model=runner.config.tw_costs
             )
+            trace_path = os.path.join(
+                artifact_dir, f"process_{circuit_name}.trace.jsonl"
+            )
             result = ProcessTimeWarpSimulator(
-                circuit, assignment, stimulus, machine
+                circuit, assignment, stimulus, machine,
+                trace_path=trace_path,
             ).run()
             assert result.final_values == sequential.final_values
             assert result.committed_captures == sequential.committed_captures
+            summary = summarize_trace(read_trace(trace_path))
+            # The trace is a faithful account of the run, not a sample:
+            # per-node rollback records and concluded GVT rounds must
+            # sum to exactly what the result reports.
+            assert summary["rollbacks_total"] == result.rollbacks
+            assert summary["gvt_rounds"] == result.gvt_rounds
+            reports.append(
+                render_trace_summary(summary, title=f"{circuit_name} x{NODES}")
+            )
             virtual = runner.record(circuit_name, "Multilevel", NODES)
             rows.append((
                 circuit.name,
@@ -45,9 +62,9 @@ def test_process_backend_sweep(benchmark, runner, artifact_dir):
                 result.rollbacks,
                 result.app_messages + result.anti_messages,
             ))
-        return rows
+        return rows, reports
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows, reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
     table = format_table(
         ["Circuit", "Nodes", "Modelled s", "Measured s",
          "Events", "Rollbacks", "Messages"],
@@ -56,3 +73,8 @@ def test_process_backend_sweep(benchmark, runner, artifact_dir):
         f"({runner.config.describe()})",
     )
     save_artifact(artifact_dir, "process_backend.txt", table)
+    save_artifact(
+        artifact_dir,
+        "process_backend_trace.txt",
+        "\n\n".join(reports),
+    )

@@ -32,6 +32,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         choices=["virtual", "process"],
                         help="Time Warp substrate: modelled virtual machine "
                         "or real OS processes (default: env or virtual)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="record a JSONL trace of every Time Warp run "
+                        "(rollbacks, GVT rounds, queue depths); summarize "
+                        "with tools/trace_report.py")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect harness metrics and print them at exit")
 
 
 def _runner(args: argparse.Namespace) -> ExperimentRunner:
@@ -42,7 +48,22 @@ def _runner(args: argparse.Namespace) -> ExperimentRunner:
         overrides["num_cycles"] = args.cycles
     if getattr(args, "backend", None) is not None:
         overrides["backend"] = args.backend
-    return ExperimentRunner(ExperimentConfig.from_env(**overrides))
+    if getattr(args, "trace", None) is not None:
+        overrides["trace_path"] = args.trace
+    if getattr(args, "metrics", False):
+        overrides["metrics_enabled"] = True
+    config = ExperimentConfig.from_env(**overrides)
+    if (
+        getattr(args, "circuit", None) == "s27"
+        and getattr(args, "scale", None) is None
+        and config.scale != 1.0
+    ):
+        # The s27 netlist ships at full size only; unless the user pinned
+        # a scale explicitly, lift the scaled-by-default policy for it.
+        from dataclasses import replace
+
+        config = replace(config, scale=1.0)
+    return ExperimentRunner(config)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -68,7 +89,7 @@ def main(argv: list[str] | None = None) -> int:
     run_p = sub.add_parser("run", help="one parallel simulation")
     _add_common(run_p)
     run_p.add_argument("--circuit", default="s9234",
-                       choices=["s5378", "s9234", "s15850"])
+                       choices=["s27", "s5378", "s9234", "s15850"])
     run_p.add_argument("--algorithm", default="Multilevel", choices=ALGORITHMS)
     run_p.add_argument("--nodes", type=int, default=8)
     run_p.add_argument("--kernel", default="timewarp",
@@ -78,7 +99,7 @@ def main(argv: list[str] | None = None) -> int:
     part_p = sub.add_parser("partition", help="static partition quality")
     _add_common(part_p)
     part_p.add_argument("--circuit", default="s9234",
-                        choices=["s5378", "s9234", "s15850"])
+                        choices=["s27", "s5378", "s9234", "s15850"])
     part_p.add_argument("--k", type=int, default=8)
     part_p.add_argument("--all", action="store_true",
                         help="include the related-work strategies")
@@ -172,6 +193,11 @@ def main(argv: list[str] | None = None) -> int:
                 f"frac={q.cut_fraction:.3f} imb={q.load_imbalance:.3f} "
                 f"conc={q.concurrency:.3f}"
             )
+    if runner.trace_files:
+        noun = "file" if len(runner.trace_files) == 1 else "files"
+        print(f"trace {noun}: {', '.join(runner.trace_files)}")
+    if runner.config.metrics_enabled:
+        print(runner.metrics.render())
     return 0
 
 

@@ -8,7 +8,10 @@ circuits (DESIGN.md §5). Environment overrides:
 - ``REPRO_SCALE=0.25`` — explicit circuit scale;
 - ``REPRO_CYCLES=200`` — explicit stimulus cycle count;
 - ``REPRO_BACKEND=process`` — run Time Warp on real OS processes
-  instead of the modelled virtual machine.
+  instead of the modelled virtual machine;
+- ``REPRO_TRACE=path.jsonl`` — record a JSONL trace of every run
+  (rollbacks, GVT rounds, queue depths; see :mod:`repro.obs`);
+- ``REPRO_METRICS=1`` — collect and print harness-level metrics.
 """
 
 from __future__ import annotations
@@ -65,6 +68,12 @@ class ExperimentConfig:
     #: modelled machine (the paper-reproduction default), "process" runs
     #: one OS process per node and reports measured wall-clock.
     backend: str = "virtual"
+    #: JSONL trace destination (None disables tracing).  Every run the
+    #: harness executes appends a distinct file derived from this base
+    #: (first run gets the exact path; see ExperimentRunner.trace_path).
+    trace_path: str | None = None
+    #: Collect counters/timers in the harness (printed by the CLI).
+    metrics_enabled: bool = False
     tw_costs: TimeWarpCostModel = field(default_factory=TimeWarpCostModel)
     seq_costs: SequentialCostModel = field(default_factory=SequentialCostModel)
 
@@ -102,6 +111,10 @@ class ExperimentConfig:
             overrides["repetitions"] = int(os.environ["REPRO_REPS"])
         if "REPRO_BACKEND" in os.environ:
             overrides.setdefault("backend", os.environ["REPRO_BACKEND"])
+        if "REPRO_TRACE" in os.environ:
+            overrides.setdefault("trace_path", os.environ["REPRO_TRACE"])
+        if os.environ.get("REPRO_METRICS") == "1":
+            overrides.setdefault("metrics_enabled", True)
         return cls(**overrides)
 
     def describe(self) -> str:

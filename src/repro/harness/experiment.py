@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from repro.circuit.graph import CircuitGraph
 from repro.circuit.iscas89 import load_benchmark
 from repro.harness.config import ExperimentConfig
+from repro.obs import Metrics, TraceWriter
 from repro.partition.assignment import PartitionAssignment
 from repro.partition.registry import get_partitioner
 from repro.sim.kernel import SequentialResult, SequentialSimulator
@@ -87,6 +88,20 @@ class ExperimentRunner:
         self._sequential: dict[tuple[str, int], SequentialResult] = {}
         self._partitions: dict[tuple[str, str, int], PartitionAssignment] = {}
         self._runs: dict[tuple[str, str, int, int], TimeWarpResult] = {}
+        #: Harness-level counters/timers (a sink unless metrics_enabled).
+        self.metrics = Metrics(enabled=self.config.metrics_enabled)
+        #: Trace files written so far, in execution order.
+        self.trace_files: list[str] = []
+
+    # ------------------------------------------------------------------
+    def _next_trace_path(self) -> str | None:
+        """Distinct trace file per run: the base path, then numbered."""
+        base = self.config.trace_path
+        if base is None:
+            return None
+        path = base if not self.trace_files else f"{base}.{len(self.trace_files)}"
+        self.trace_files.append(path)
+        return path
 
     # ------------------------------------------------------------------
     def circuit(self, name: str) -> CircuitGraph:
@@ -119,11 +134,13 @@ class ExperimentRunner:
         """
         key = (name, rep)
         if key not in self._sequential:
-            self._sequential[key] = SequentialSimulator(
-                self.circuit(name),
-                self.stimulus(name, rep),
-                cost_model=self.config.seq_costs,
-            ).run()
+            with self.metrics.time("sequential_run_seconds"):
+                self._sequential[key] = SequentialSimulator(
+                    self.circuit(name),
+                    self.stimulus(name, rep),
+                    cost_model=self.config.seq_costs,
+                ).run()
+            self.metrics.inc("sequential_runs")
         return self._sequential[key]
 
     def sequential_time(self, name: str) -> float:
@@ -155,17 +172,27 @@ class ExperimentRunner:
                 gvt_interval=self.config.gvt_interval,
                 optimism_window=self.config.optimism_window,
             )
-            simulator_cls = (
-                ProcessTimeWarpSimulator
-                if self.config.backend == "process"
-                else TimeWarpSimulator
-            )
-            result = simulator_cls(
+            trace_path = self._next_trace_path()
+            quad = (
                 self.circuit(name),
                 self.partition(name, algorithm, nodes),
                 self.stimulus(name, rep),
                 machine,
-            ).run()
+            )
+            with self.metrics.time("timewarp_run_seconds"):
+                if self.config.backend == "process":
+                    result = ProcessTimeWarpSimulator(
+                        *quad, trace_path=trace_path
+                    ).run()
+                elif trace_path is not None:
+                    with TraceWriter(trace_path) as tracer:
+                        result = TimeWarpSimulator(*quad, tracer=tracer).run()
+                else:
+                    result = TimeWarpSimulator(*quad).run()
+            self.metrics.inc("timewarp_runs")
+            self.metrics.inc("rollbacks_total", result.rollbacks)
+            self.metrics.observe("gvt_rounds", result.gvt_rounds)
+            self.metrics.observe("rollbacks_per_run", result.rollbacks)
             # Correctness oracle: optimism must not change results.
             seq = self.sequential(name, rep)
             if result.final_values != seq.final_values:

@@ -1,0 +1,39 @@
+"""Cross-engine observability: metrics and JSONL tracing.
+
+``repro.obs`` is the shared instrumentation layer of the three
+execution engines (sequential, virtual Time Warp, multiprocess Time
+Warp).  It has two halves:
+
+- :mod:`repro.obs.metrics` — counters, timers and histograms with
+  near-zero overhead when disabled (a single attribute check on the
+  hot path);
+- :mod:`repro.obs.tracer` — a JSONL trace recorder.  Each engine emits
+  structured records (per-LP rollback depth, GVT-round latency, inbox
+  queue depth, per-node busy/idle breakdown); in the process backend
+  every worker writes its own shard and the parent merges them into
+  one file ordered by ``(wall time, node)``.
+
+:mod:`repro.obs.report` summarizes merged traces (distributions,
+per-node breakdowns) for ``tools/trace_report.py`` and the benchmark
+suite.
+"""
+
+from repro.obs.metrics import Metrics, summarize
+from repro.obs.report import render_trace_summary, summarize_trace
+from repro.obs.tracer import (
+    TraceWriter,
+    merge_shards,
+    read_trace,
+    shard_path,
+)
+
+__all__ = [
+    "Metrics",
+    "TraceWriter",
+    "merge_shards",
+    "read_trace",
+    "render_trace_summary",
+    "shard_path",
+    "summarize",
+    "summarize_trace",
+]

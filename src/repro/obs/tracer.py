@@ -1,0 +1,133 @@
+"""JSONL trace recording and multi-process shard merging.
+
+One trace record per line::
+
+    {"ts": 0.001234, "node": 2, "kind": "rollback", "lp": 17, "depth": 3, ...}
+
+``ts`` is seconds since the run's epoch (wall clock, comparable across
+processes — every shard writer shares the epoch the parent sampled at
+launch).  ``node`` is the emitting node, ``-1`` for the parent or a
+single-process engine.  ``kind`` selects the schema of the remaining
+fields; DESIGN.md §7 documents every kind.
+
+In the process backend each worker writes its own shard
+(``<base>.node<i>``, see :func:`shard_path`) so tracing never
+synchronizes the workers; the parent merges the shards into ``<base>``
+ordered by ``(ts, node, arrival)`` once the run completes.
+
+Non-finite floats are mapped to ``None`` on the way out so every line
+is strict JSON (``GVT == +inf`` — the quiescence proof — serializes as
+``"gvt": null`` with ``"final": true`` alongside).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+
+
+def shard_path(base: str, node: int) -> str:
+    """The per-worker shard file for *node* under merged path *base*."""
+    return f"{base}.node{node}"
+
+
+class TraceWriter:
+    """Streaming JSONL writer for one process's trace records."""
+
+    __slots__ = ("path", "node", "epoch", "records_written", "_fh")
+
+    def __init__(self, path: str, *, node: int = -1, epoch: float | None = None):
+        self.path = str(path)
+        self.node = node
+        self.epoch = time.time() if epoch is None else epoch
+        self.records_written = 0
+        # Line-buffered on purpose: a crashing worker leaves complete
+        # records behind for post-mortem instead of an empty shard.
+        self._fh = open(self.path, "w", buffering=1)
+
+    def emit(self, kind: str, *, node: int | None = None, **fields) -> None:
+        """Append one record of *kind* (extra fields go out verbatim)."""
+        if self._fh is None:  # pragma: no cover - defensive
+            return
+        record: dict = {
+            "ts": round(time.time() - self.epoch, 6),
+            "node": self.node if node is None else node,
+            "kind": kind,
+        }
+        for key, value in fields.items():
+            if isinstance(value, float) and not math.isfinite(value):
+                value = None
+            record[key] = value
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self.records_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def read_trace(path: str) -> list[dict]:
+    """All records of a JSONL trace file, in file order."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def merge_shards(
+    base: str,
+    shards: list[str],
+    *,
+    extra: list[dict] | None = None,
+    keep_shards: bool = False,
+) -> int:
+    """Merge worker *shards* into *base*, ordered by ``(ts, node)``.
+
+    Records with equal ``(ts, node)`` keep their within-shard order (the
+    per-node emission order is meaningful).  Missing shards are skipped
+    — a worker that died before opening its file is not an error here;
+    the backend reports worker death separately.  Shards are deleted
+    after a successful merge unless *keep_shards*.  Returns the number
+    of merged records.
+    """
+    import os
+
+    keyed: list[tuple[float, int, int, dict]] = []
+    for path in shards:
+        try:
+            records = read_trace(path)
+        except FileNotFoundError:
+            continue
+        for seq, record in enumerate(records):
+            keyed.append(
+                (float(record.get("ts", 0.0)), int(record.get("node", -1)),
+                 seq, record)
+            )
+    for seq, record in enumerate(extra or []):
+        keyed.append(
+            (float(record.get("ts", 0.0)), int(record.get("node", -1)),
+             seq, record)
+        )
+    keyed.sort(key=lambda item: item[:3])
+    with open(base, "w") as fh:
+        for _, _, _, record in keyed:
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+    if not keep_shards:
+        for path in shards:
+            try:
+                os.remove(path)
+            except FileNotFoundError:
+                pass
+    return len(keyed)

@@ -57,6 +57,7 @@ class SequentialSimulator:
         trace: Trace | None = None,
         max_events: int = 50_000_000,
         forced: dict[int, int] | None = None,
+        tracer=None,
     ) -> None:
         if not circuit.frozen:
             raise SimulationError("circuit must be frozen")
@@ -67,6 +68,11 @@ class SequentialSimulator:
         self.cost_model = cost_model or SequentialCostModel()
         self.trace = trace
         self.max_events = max_events
+        #: Optional :class:`repro.obs.tracer.TraceWriter`.  The
+        #: sequential engine has no rollbacks or GVT; it contributes
+        #: ``run_start``/``run_end`` records so cross-engine traces
+        #: share one schema.
+        self.tracer = tracer
         #: Gate outputs pinned to constant values for the whole run —
         #: the fault-injection mechanism (stuck-at faults) and a general
         #: what-if tool. A forced gate never evaluates, captures or
@@ -121,6 +127,13 @@ class SequentialSimulator:
             for pi in circuit.primary_inputs:
                 queue.push(Event(t, STIM, pi, cycle, stim.value(pi, cycle)))
 
+        if self.tracer is not None:
+            self.tracer.emit(
+                "run_start",
+                engine="sequential",
+                circuit=circuit.name,
+                cycles=stim.num_cycles,
+            )
         gates = circuit.gates
         while queue:
             event = queue.pop()
@@ -159,6 +172,13 @@ class SequentialSimulator:
                     eval_value[sink] = nv
                     emit(event.time + sink_gate.delay, sink, nv)
 
+        if self.tracer is not None:
+            self.tracer.emit(
+                "run_end",
+                engine="sequential",
+                events=events_processed,
+                emissions=emissions,
+            )
         return SequentialResult(
             circuit_name=circuit.name,
             num_cycles=stim.num_cycles,

@@ -17,6 +17,7 @@ deep circuits would blow the recursion limit otherwise.
 from __future__ import annotations
 
 import heapq
+import time
 from collections import deque
 
 from repro.circuit.graph import CircuitGraph
@@ -45,6 +46,7 @@ class TimeWarpSimulator:
         *,
         max_events: int = 50_000_000,
         trace_hook=None,
+        tracer=None,
     ) -> None:
         if not circuit.frozen:
             raise SimulationError("circuit must be frozen")
@@ -65,6 +67,10 @@ class TimeWarpSimulator:
         #: Optional callable receiving (op, *details) tuples for every
         #: kernel action — used by protocol tests and debugging.
         self.trace_hook = trace_hook
+        #: Optional :class:`repro.obs.tracer.TraceWriter` — structured
+        #: rollback / GVT-round / node-summary records.  Orthogonal to
+        #: ``trace_hook`` (that one sees raw kernel ops).
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     def run(self) -> TimeWarpResult:
@@ -117,6 +123,7 @@ class TimeWarpSimulator:
 
         flight_seq = 0
         trace = self.trace_hook
+        tracer = self.tracer
         # Committed DFF captures: (gate, cycle) -> value captured.
         # Entries are removed when their record is rolled back, so at
         # quiescence the log is exactly the committed capture history
@@ -273,6 +280,14 @@ class TimeWarpSimulator:
             stats.rollbacks += 1
             stats.events_rolled_back += undone
             stats.anti_messages_sent += remote_antis
+            if tracer is not None:
+                tracer.emit(
+                    "rollback",
+                    node=node,
+                    lp=lp.gate.index,
+                    depth=undone,
+                    t=int(to_key[0]),
+                )
             work = (
                 cost.rollback_event_cost * undone
                 + cost.coast_event_cost * coasted
@@ -365,6 +380,7 @@ class TimeWarpSimulator:
         gvt_now = 0.0  # current GVT estimate (for window throttling)
 
         def run_gvt_round() -> float:
+            round_t0 = time.perf_counter()
             counters["gvt_rounds"] += 1
             history = sum(len(lp_.processed) for lp_ in lps)
             if history > counters["peak_history"]:
@@ -413,6 +429,15 @@ class TimeWarpSimulator:
                 busy_at_last_sample[i] = busy[i]
             if migration_threshold is not None and gvt < GVT_END:
                 migrate_load()
+            if tracer is not None:
+                tracer.emit(
+                    "gvt_round",
+                    cid=counters["gvt_rounds"],
+                    gvt=float(gvt),
+                    final=gvt == GVT_END,
+                    latency=time.perf_counter() - round_t0,
+                    trips=1,
+                )
             return gvt
 
         def migrate_load() -> None:
@@ -584,6 +609,17 @@ class TimeWarpSimulator:
         for i in range(n_nodes):
             node_stats[i].wall_time = wall[i]
             node_stats[i].busy_time = busy[i]
+            if tracer is not None:
+                tracer.emit(
+                    "node_summary",
+                    node=i,
+                    busy=busy[i],
+                    wall=wall[i],
+                    events=node_stats[i].events_processed,
+                    rollbacks=node_stats[i].rollbacks,
+                    gvt_rounds=counters["gvt_rounds"],
+                    num_lps=node_stats[i].num_lps,
+                )
         return TimeWarpResult(
             circuit_name=circuit.name,
             algorithm=self.assignment.algorithm,

@@ -4,7 +4,7 @@ See :mod:`repro.warped.parallel.backend` for the execution model and
 :mod:`repro.warped.parallel.protocol` for the GVT token ring.
 """
 
-from repro.warped.parallel.backend import ProcessTimeWarpSimulator
+from repro.warped.parallel.backend import NodeLoop, ProcessTimeWarpSimulator
 from repro.warped.parallel.node import NodeEngine
 from repro.warped.parallel.protocol import GvtClerk, GvtToken
 
@@ -12,5 +12,6 @@ __all__ = [
     "GvtClerk",
     "GvtToken",
     "NodeEngine",
+    "NodeLoop",
     "ProcessTimeWarpSimulator",
 ]

@@ -11,6 +11,11 @@ queues; GVT is computed by the colored token ring of
 collection; a GVT of ``+inf`` proves quiescence and shuts the ring
 down.
 
+Each worker runs a :class:`NodeLoop` — the event/GVT loop factored out
+of the process entry point so tests can drive a full ring inside one
+process with plain ``queue.Queue`` transports (the GVT regression
+tests do exactly that).
+
 Timing semantics differ from the virtual backend by design: the
 virtual machine *models* a cluster's clock deterministically, while
 this backend reports **measured** wall-clock per node.  Committed
@@ -18,6 +23,22 @@ simulation results (final signal values, DFF capture history) are
 identical between the two — rollback makes the outcome independent of
 message interleaving — and the differential test layer holds both
 backends to that.
+
+Liveness at the parent is deliberately conservative: worker death is
+detected from exit codes with a drain grace period (never from
+``Queue.empty()``, which is documented-unreliable and can report empty
+while a finished worker's payload is still in the feeder pipe), and
+shutdown drains every inbox while joining so a worker blocked flushing
+a full queue at exit can always get out (see ``_shutdown``).
+
+Fault injection for tests: ``REPRO_TW_FAULT`` is a comma-separated
+list of ``node:mode[:arg]`` clauses applied inside the matching worker
+— ``raise`` (throw at startup, exercising the ERROR wire path),
+``exit`` (``os._exit(arg)``, silent death), ``hang`` (sleep *arg*
+seconds), ``flood`` (stuff ~4k messages into node *arg*'s inbox and
+exit without reporting, wedging this worker's queue feeder), and
+``late-report`` (sleep *arg* seconds between finishing and reporting —
+the race the grace period exists for).
 """
 
 from __future__ import annotations
@@ -30,6 +51,7 @@ import traceback
 
 from repro.circuit.graph import CircuitGraph
 from repro.errors import ConfigError, SimulationError
+from repro.obs.tracer import TraceWriter, merge_shards, shard_path
 from repro.partition.assignment import PartitionAssignment
 from repro.sim.stimulus import Stimulus
 from repro.warped.machine import VirtualMachine
@@ -53,6 +75,257 @@ _BATCH = 16
 _IDLE_WAIT = 0.005
 #: Minimum spacing between idle-triggered GVT computations (s).
 _IDLE_GVT_SPACING = 0.001
+#: How long a dead-but-unreported worker's payload may stay in flight
+#: before the parent declares the node lost (Queue feeder flushes are
+#: normally milliseconds; this absorbs a loaded machine).
+_DEATH_GRACE = 2.0
+#: Shutdown join budget on the success path (workers should exit
+#: almost immediately after the GVT=+inf broadcast).
+_SHUTDOWN_PATIENCE = 5.0
+#: Shutdown join budget on the error path (don't make a failing run
+#: wait for workers that will be terminated anyway).
+_ERROR_PATIENCE = 1.0
+
+
+# ----------------------------------------------------------------------
+# fault injection (test hook)
+# ----------------------------------------------------------------------
+def _worker_faults(node: int) -> list[tuple[str, str | None]]:
+    """Parse ``REPRO_TW_FAULT`` clauses addressed to *node*."""
+    spec = os.environ.get("REPRO_TW_FAULT", "")
+    faults: list[tuple[str, str | None]] = []
+    for clause in spec.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        parts = clause.split(":")
+        if int(parts[0]) != node:
+            continue
+        faults.append((parts[1], parts[2] if len(parts) > 2 else None))
+    return faults
+
+
+def _apply_startup_faults(node: int, inboxes) -> bool:
+    """Run *node*'s startup fault clauses; True means "do not simulate"."""
+    for mode, arg in _worker_faults(node):
+        if mode == "raise":
+            raise RuntimeError(f"injected fault in node {node}")
+        if mode == "exit":
+            os._exit(int(arg or 3))
+        if mode == "hang":
+            time.sleep(float(arg or 3600.0))
+        if mode == "flood":
+            dest = int(arg or 0)
+            for _ in range(4096):
+                inboxes[dest].put((GVT, 0, 0.0))
+            return True  # exit without reporting; the feeder must flush
+    return False
+
+
+# ----------------------------------------------------------------------
+# the per-node loop (transport-agnostic, testable in-process)
+# ----------------------------------------------------------------------
+class NodeLoop:
+    """One node's Time Warp event/GVT loop over abstract inboxes.
+
+    ``inboxes`` only needs ``put``/``get``/``get_nowait``/``qsize`` —
+    ``multiprocessing`` queues in production, ``queue.Queue`` (or
+    anything list-like wrapped in one) in the in-process ring tests.
+    Node 0 is the GVT initiator; every node applies broadcast GVT
+    values, resets its ``since_gvt`` progress counter and compacts its
+    :class:`~repro.warped.parallel.protocol.GvtClerk` tables on each
+    application (both were initiator-only once — non-initiators leaked
+    counter colors and an ever-growing ``since_gvt``).
+    """
+
+    def __init__(
+        self,
+        node: int,
+        num_nodes: int,
+        engine: NodeEngine,
+        inboxes,
+        *,
+        gvt_interval: int = 512,
+        tracer: TraceWriter | None = None,
+    ) -> None:
+        self.node = node
+        self.num_nodes = num_nodes
+        self.engine = engine
+        self.inboxes = inboxes
+        self.inbox = inboxes[node]
+        self.gvt_interval = gvt_interval
+        self.tracer = tracer
+        self.clerk = GvtClerk(node=node)
+        self.gvt = 0.0
+        self.done = False
+        self.busy = 0.0
+        #: Events processed since this node last applied a GVT value.
+        self.since_gvt = 0
+        #: Conclusive GVT computations this node observed (initiator:
+        #: concluded; others: broadcasts applied).
+        self.gvt_rounds_seen = 0
+        # Initiator (node 0) state.
+        self.active_cid = 0        # computation in progress (0 = none)
+        self.next_cid = 0
+        self.gvt_computations = 0  # conclusive computations initiated
+        self.last_initiate = 0.0
+        self._round_started = 0.0  # wall time active_cid was initiated
+        self._round_trips = 0      # ring circuits of the active computation
+
+    # -- plumbing ------------------------------------------------------
+    def flush_outbox(self) -> None:
+        for dest, msg in self.engine.outbox:
+            color = self.clerk.note_send(msg.time)
+            self.inboxes[dest].put((MSG, color, msg))
+        self.engine.outbox.clear()
+
+    def local_min(self) -> float:
+        t = self.engine.min_pending()
+        return T_INF if t is None else float(t)
+
+    # -- GVT -----------------------------------------------------------
+    def apply_gvt(self, cid: int, value: float) -> None:
+        """Fossil-collect at *value* and reset per-round bookkeeping."""
+        self.engine.fossil_collect(value)
+        # Every node resets its progress counter and compacts clerk
+        # state here — on the initiator this used to live in
+        # ``conclude``; non-initiators never did either (the since_gvt
+        # and clerk-growth bugs this method now owns the fix for).
+        self.since_gvt = 0
+        self.clerk.forget_before(cid)
+        self.gvt_rounds_seen += 1
+        if value == T_INF:
+            self.done = True
+        else:
+            self.gvt = value
+        if self.tracer is not None:
+            try:
+                depth = self.inbox.qsize()
+            except (NotImplementedError, OSError):  # pragma: no cover
+                depth = None
+            self.tracer.emit(
+                "inbox_depth", depth=depth, gvt=value, cid=cid
+            )
+
+    def conclude(self, token: GvtToken) -> None:
+        """Initiator: finish or extend the computation *token* closes."""
+        if token.conclusive:
+            value = token.gvt
+            self.gvt_computations += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "gvt_round",
+                    cid=token.cid,
+                    gvt=value,
+                    final=value == T_INF,
+                    latency=time.perf_counter() - self._round_started,
+                    trips=self._round_trips,
+                )
+            for other in range(self.num_nodes):
+                if other != self.node:
+                    self.inboxes[other].put((GVT, token.cid, value))
+            self.active_cid = 0
+            self.apply_gvt(token.cid, value)
+        else:
+            # Whites still in flight: circulate a fresh round of the
+            # same computation.  Re-folding this node's contribution is
+            # correct — each round is a fresh cut, and the clerk's
+            # cumulative sent/received tables make every round's white
+            # balance self-consistent (see DESIGN.md §6 for the audit).
+            self._round_trips += 1
+            fresh = GvtToken(cid=token.cid)
+            self.clerk.fold_token(fresh, self.local_min())
+            self.inboxes[(self.node + 1) % self.num_nodes].put((TOKEN, fresh))
+
+    def maybe_initiate(self) -> None:
+        """Initiator: start a GVT computation when one is due.
+
+        Idle or window-throttled nodes need GVT to advance (or prove
+        quiescence), so initiation is also idleness-triggered.
+        """
+        if self.node != 0 or self.active_cid:
+            return
+        now = time.perf_counter()
+        idle = not self.engine.processable(self.gvt)
+        if self.since_gvt >= self.gvt_interval or (
+            idle and now - self.last_initiate >= _IDLE_GVT_SPACING
+        ):
+            self.next_cid += 1
+            self.active_cid = self.next_cid
+            self.last_initiate = now
+            self._round_started = now
+            self._round_trips = 1
+            token = GvtToken(cid=self.active_cid)
+            self.clerk.fold_token(token, self.local_min())
+            if self.num_nodes == 1:
+                self.conclude(token)
+            else:
+                self.inboxes[1].put((TOKEN, token))
+
+    # -- wire dispatch -------------------------------------------------
+    def handle(self, item) -> None:
+        tag = item[0]
+        if tag == MSG:
+            _, color, msg = item
+            self.clerk.note_receive(color)
+            self.engine.handle_remote(msg)
+            self.flush_outbox()  # a straggler's rollback emits anti-messages
+        elif tag == TOKEN:
+            token = item[1]
+            if self.node == 0 and token.cid == self.active_cid:
+                self.conclude(token)  # the round came home
+            else:
+                self.clerk.fold_token(token, self.local_min())
+                self.inboxes[(self.node + 1) % self.num_nodes].put(
+                    (TOKEN, token)
+                )
+        elif tag == GVT:
+            self.apply_gvt(item[1], item[2])
+        else:  # pragma: no cover - defensive
+            raise SimulationError(
+                f"node {self.node}: unknown wire item {item!r}"
+            )
+
+    # -- loop phases ---------------------------------------------------
+    def poll(self) -> bool:
+        """Drain everything the transport has delivered (nonblocking)."""
+        handled = False
+        while not self.done:
+            try:
+                item = self.inbox.get_nowait()
+            except queue_mod.Empty:
+                break
+            self.handle(item)
+            handled = True
+        return handled
+
+    def work_batch(self) -> int:
+        """Optimistically process a slice of local events."""
+        worked = 0
+        while worked < _BATCH and self.engine.processable(self.gvt):
+            t0 = time.perf_counter()
+            self.engine.process_one()
+            self.flush_outbox()
+            self.busy += time.perf_counter() - t0
+            worked += 1
+            self.since_gvt += 1
+        return worked
+
+    def run(self) -> None:
+        """Drive the node to quiescence (GVT == +inf)."""
+        while not self.done:
+            self.poll()
+            if self.done:
+                break
+            worked = self.work_batch()
+            self.maybe_initiate()
+            # Nothing processable and nothing drained: wait for the wire.
+            if not worked:
+                try:
+                    item = self.inbox.get(timeout=_IDLE_WAIT)
+                except queue_mod.Empty:
+                    continue
+                self.handle(item)
 
 
 def _worker_main(
@@ -66,13 +339,17 @@ def _worker_main(
     max_events: int,
     inboxes,
     result_queue,
+    trace_base: str | None,
+    trace_epoch: float,
 ) -> None:
     """Entry point of one node process."""
     try:
+        if _apply_startup_faults(node, inboxes):
+            return
         _run_node(
             node, num_nodes, circuit, assignment, stimulus,
             optimism_window, gvt_interval, max_events,
-            inboxes, result_queue,
+            inboxes, result_queue, trace_base, trace_epoch,
         )
     except BaseException:  # noqa: BLE001 - ship the diagnosis to the parent
         result_queue.put((ERROR, node, traceback.format_exc()))
@@ -89,133 +366,50 @@ def _run_node(
     max_events: int,
     inboxes,
     result_queue,
+    trace_base: str | None,
+    trace_epoch: float,
 ) -> None:
     start = time.perf_counter()
-    busy = 0.0
-    engine = NodeEngine(
-        circuit, assignment, node, num_nodes, stimulus,
-        optimism_window=optimism_window, max_events=max_events,
-    )
-    clerk = GvtClerk(node=node)
-    engine.schedule_initial()
-    inbox = inboxes[node]
-    gvt = 0.0
-    done = False
-    # Initiator (node 0) state.
-    active_cid = 0      # computation in progress (0 = none)
-    next_cid = 0
-    since_gvt = 0
-    gvt_computations = 0
-    last_initiate = 0.0
-
-    def flush_outbox() -> None:
-        for dest, msg in engine.outbox:
-            color = clerk.note_send(msg.time)
-            inboxes[dest].put((MSG, color, msg))
-        engine.outbox.clear()
-
-    def local_min() -> float:
-        t = engine.min_pending()
-        return T_INF if t is None else float(t)
-
-    def apply_gvt(value: float) -> None:
-        nonlocal gvt, done
-        engine.fossil_collect(value)
-        if value == T_INF:
-            done = True
-        else:
-            gvt = value
-
-    def conclude(token: GvtToken) -> None:
-        """Initiator: finish or extend the computation *token* closes."""
-        nonlocal active_cid, since_gvt, gvt_computations
-        if token.conclusive:
-            value = token.gvt
-            gvt_computations += 1
-            for other in range(num_nodes):
-                if other != node:
-                    inboxes[other].put((GVT, token.cid, value))
-            active_cid = 0
-            since_gvt = 0
-            clerk.forget_before(token.cid)
-            apply_gvt(value)
-        else:
-            fresh = GvtToken(cid=token.cid)
-            clerk.fold_token(fresh, local_min())
-            inboxes[(node + 1) % num_nodes].put((TOKEN, fresh))
-
-    def handle(item) -> None:
-        tag = item[0]
-        if tag == MSG:
-            _, color, msg = item
-            clerk.note_receive(color)
-            engine.handle_remote(msg)
-            flush_outbox()  # a straggler's rollback emits anti-messages
-        elif tag == TOKEN:
-            token = item[1]
-            if node == 0 and token.cid == active_cid:
-                conclude(token)  # the round came home
-            else:
-                clerk.fold_token(token, local_min())
-                inboxes[(node + 1) % num_nodes].put((TOKEN, token))
-        elif tag == GVT:
-            apply_gvt(item[2])
-        else:  # pragma: no cover - defensive
-            raise SimulationError(f"node {node}: unknown wire item {item!r}")
-
-    while not done:
-        # 1. Drain everything the transport has delivered.
-        while not done:
-            try:
-                item = inbox.get_nowait()
-            except queue_mod.Empty:
-                break
-            handle(item)
-        if done:
-            break
-
-        # 2. Optimistically process a slice of local events.
-        worked = 0
-        while worked < _BATCH and engine.processable(gvt):
-            t0 = time.perf_counter()
-            engine.process_one()
-            flush_outbox()
-            busy += time.perf_counter() - t0
-            worked += 1
-            since_gvt += 1
-
-        # 3. Initiator: start a GVT computation when one is due.  Idle
-        # or window-throttled nodes need GVT to advance (or prove
-        # quiescence), so initiation is also idleness-triggered.
-        if node == 0 and not active_cid:
-            now = time.perf_counter()
-            idle = not engine.processable(gvt)
-            if since_gvt >= gvt_interval or (
-                idle and now - last_initiate >= _IDLE_GVT_SPACING
-            ):
-                next_cid += 1
-                active_cid = next_cid
-                last_initiate = now
-                token = GvtToken(cid=active_cid)
-                clerk.fold_token(token, local_min())
-                if num_nodes == 1:
-                    conclude(token)
-                else:
-                    inboxes[1].put((TOKEN, token))
-
-        # 4. Nothing processable and nothing drained: wait for the wire.
-        if not worked:
-            try:
-                item = inbox.get(timeout=_IDLE_WAIT)
-            except queue_mod.Empty:
-                continue
-            handle(item)
-
-    engine.check_quiescent()
-    wall = time.perf_counter() - start
-    stats = engine.stats
-    stats.wall_time = wall
-    stats.busy_time = busy
+    tracer = None
+    if trace_base is not None:
+        tracer = TraceWriter(
+            shard_path(trace_base, node), node=node, epoch=trace_epoch
+        )
+    try:
+        engine = NodeEngine(
+            circuit, assignment, node, num_nodes, stimulus,
+            optimism_window=optimism_window, max_events=max_events,
+            tracer=tracer,
+        )
+        engine.schedule_initial()
+        loop = NodeLoop(
+            node, num_nodes, engine, inboxes,
+            gvt_interval=gvt_interval, tracer=tracer,
+        )
+        loop.run()
+        engine.check_quiescent()
+        wall = time.perf_counter() - start
+        stats = engine.stats
+        stats.wall_time = wall
+        stats.busy_time = loop.busy
+        if tracer is not None:
+            tracer.emit(
+                "node_summary",
+                busy=loop.busy,
+                wall=wall,
+                events=engine.counters["events"],
+                rollbacks=engine.counters["rollbacks"],
+                gvt_rounds=loop.gvt_rounds_seen,
+                num_lps=len(engine.lps),
+            )
+    finally:
+        if tracer is not None:
+            tracer.close()
+    for mode, arg in _worker_faults(node):
+        if mode == "late-report":
+            # The race the parent's grace period absorbs: a sibling can
+            # report-and-exit long before this node's payload appears.
+            time.sleep(float(arg or 1.5))
     result_queue.put(
         (
             DONE,
@@ -226,11 +420,22 @@ def _run_node(
                 "final_values": engine.final_values(),
                 "captures": dict(engine.capture_log),
                 "peak_history": engine.peak_history,
-                "gvt_rounds": gvt_computations,
+                "gvt_rounds": loop.gvt_computations,
                 "pid": os.getpid(),
             },
         )
     )
+
+
+def _drain_queue(q) -> int:
+    """Discard whatever *q* currently holds; returns the count."""
+    drained = 0
+    while True:
+        try:
+            q.get_nowait()
+        except (queue_mod.Empty, OSError, ValueError):
+            return drained
+        drained += 1
 
 
 class ProcessTimeWarpSimulator:
@@ -242,6 +447,12 @@ class ProcessTimeWarpSimulator:
     and network models are ignored (this backend measures real time).
     Policies the process backend does not implement (lazy cancellation,
     periodic checkpointing, LP migration) are rejected up front.
+
+    With ``trace_path`` set, every worker streams a JSONL trace shard
+    (rollbacks, GVT rounds, inbox depth, busy/idle summary) and the
+    parent merges the shards into ``trace_path`` ordered by
+    ``(wall time, node)`` after a successful run; shards are left in
+    place on failure for post-mortem.
     """
 
     def __init__(
@@ -253,6 +464,8 @@ class ProcessTimeWarpSimulator:
         *,
         max_events: int = 50_000_000,
         timeout: float = 120.0,
+        death_grace: float = _DEATH_GRACE,
+        trace_path: str | None = None,
     ) -> None:
         if not circuit.frozen:
             raise SimulationError("circuit must be frozen")
@@ -281,9 +494,20 @@ class ProcessTimeWarpSimulator:
         self.machine = machine
         self.max_events = max_events
         self.timeout = timeout
+        self.death_grace = death_grace
+        self.trace_path = trace_path
         #: OS pid of each worker after a run — evidence the simulation
         #: really executed on separate processes.
         self.worker_pids: dict[int, int] = {}
+        #: Exit code of each worker after shutdown (0 = clean).
+        self.worker_exitcodes: dict[int, int | None] = {}
+        #: Records in the merged trace (0 when tracing is off).
+        self.trace_records = 0
+
+    # ------------------------------------------------------------------
+    def _make_results_queue(self, ctx):
+        """Result-queue factory (overridable in liveness tests)."""
+        return ctx.Queue()
 
     # ------------------------------------------------------------------
     def run(self) -> TimeWarpResult:
@@ -293,7 +517,8 @@ class ProcessTimeWarpSimulator:
             "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         )
         inboxes = [ctx.Queue() for _ in range(n)]
-        results = ctx.Queue()
+        results = self._make_results_queue(ctx)
+        trace_epoch = time.time()
         workers = [
             ctx.Process(
                 target=_worker_main,
@@ -301,7 +526,7 @@ class ProcessTimeWarpSimulator:
                     node, n, self.circuit, list(self.assignment.assignment),
                     self.stimulus, self.machine.optimism_window,
                     self.machine.gvt_interval, self.max_events,
-                    inboxes, results,
+                    inboxes, results, self.trace_path, trace_epoch,
                 ),
                 daemon=True,
                 name=f"timewarp-node-{node}",
@@ -312,6 +537,7 @@ class ProcessTimeWarpSimulator:
             worker.start()
         payloads: dict[int, dict] = {}
         deadline = time.monotonic() + self.timeout
+        grace_until: float | None = None
         try:
             while len(payloads) < n:
                 remaining = deadline - time.monotonic()
@@ -321,29 +547,99 @@ class ProcessTimeWarpSimulator:
                         f"({len(payloads)}/{n} nodes reported)"
                     )
                 try:
-                    item = results.get(timeout=min(remaining, 0.5))
+                    item = results.get(timeout=min(remaining, 0.25))
                 except queue_mod.Empty:
-                    if any(not w.is_alive() for w in workers) and results.empty():
-                        raise SimulationError(
-                            "a node process died without reporting"
-                        ) from None
-                    continue
+                    # Liveness check keyed on worker exit, never on
+                    # Queue.empty() (documented-unreliable: a worker
+                    # that reported and exited can look dead-and-silent
+                    # while its payload sits in the feeder pipe).  A
+                    # dead, unreported worker starts a grace window in
+                    # which we keep draining; only when nothing arrives
+                    # inside it is the node declared lost.
+                    dead = {
+                        i: w.exitcode
+                        for i, w in enumerate(workers)
+                        if not w.is_alive() and i not in payloads
+                    }
+                    if not dead:
+                        grace_until = None
+                        continue
+                    now = time.monotonic()
+                    if grace_until is None:
+                        grace_until = now + self.death_grace
+                        continue
+                    if now < grace_until:
+                        continue
+                    detail = ", ".join(
+                        f"node {i} (exitcode {code})"
+                        for i, code in sorted(dead.items())
+                    )
+                    raise SimulationError(
+                        "node process(es) died without reporting a "
+                        f"result: {detail}"
+                    ) from None
+                grace_until = None
                 tag = item[0]
                 if tag == ERROR:
                     raise SimulationError(
                         f"node {item[1]} failed:\n{item[2]}"
                     )
                 payloads[item[1]] = item[2]
-        finally:
-            for worker in workers:
-                worker.join(timeout=5.0)
-                if worker.is_alive():  # pragma: no cover - cleanup path
-                    worker.terminate()
-                    worker.join(timeout=5.0)
-            for q in (*inboxes, results):
-                q.cancel_join_thread()
-                q.close()
+        except BaseException:
+            self._shutdown(workers, inboxes, results, patience=_ERROR_PATIENCE)
+            raise
+        self._shutdown(workers, inboxes, results, patience=_SHUTDOWN_PATIENCE)
+        unclean = {
+            i: code for i, code in self.worker_exitcodes.items() if code != 0
+        }
+        if unclean:
+            detail = ", ".join(
+                f"node {i} (exitcode {code})"
+                for i, code in sorted(unclean.items())
+            )
+            raise SimulationError(
+                f"worker(s) exited uncleanly after reporting: {detail}"
+            )
+        if self.trace_path is not None:
+            self.trace_records = merge_shards(
+                self.trace_path,
+                [shard_path(self.trace_path, node) for node in range(n)],
+            )
         return self._assemble(payloads)
+
+    # ------------------------------------------------------------------
+    def _shutdown(self, workers, inboxes, results, *, patience: float) -> None:
+        """Join workers, draining queues so none can wedge at exit.
+
+        A worker blocked flushing its queue feeder into a full pipe
+        (e.g. messages addressed to a node that already died) can only
+        exit once someone drains the pipe — so inboxes are drained
+        *while* joining, and ``cancel_join_thread()``/``close()`` only
+        run on queues that are already empty.  Workers still alive
+        after *patience* seconds are terminated.
+        """
+        queues = (*inboxes, results)
+        join_deadline = time.monotonic() + patience
+        pending = [w for w in workers if w.is_alive()]
+        while pending:
+            for q in queues:
+                _drain_queue(q)
+            for w in pending:
+                w.join(timeout=0.05)
+            pending = [w for w in pending if w.is_alive()]
+            if time.monotonic() >= join_deadline:
+                break
+        for w in pending:  # pragma: no cover - only hung/wedged workers
+            w.terminate()
+        for w in pending:  # pragma: no cover
+            w.join(timeout=5.0)
+        for q in queues:
+            _drain_queue(q)
+            q.cancel_join_thread()
+            q.close()
+        self.worker_exitcodes = {
+            i: w.exitcode for i, w in enumerate(workers)
+        }
 
     # ------------------------------------------------------------------
     def _assemble(self, payloads: dict[int, dict]) -> TimeWarpResult:

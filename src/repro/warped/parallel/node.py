@@ -45,6 +45,7 @@ class NodeEngine:
         *,
         optimism_window: int | None = None,
         max_events: int = 50_000_000,
+        tracer=None,
     ) -> None:
         self.circuit = circuit
         self.assignment = assignment
@@ -53,6 +54,9 @@ class NodeEngine:
         self.stimulus = stimulus
         self.window = optimism_window
         self.max_events = max_events
+        #: Optional :class:`repro.obs.tracer.TraceWriter` — rollback
+        #: records go out here (None keeps the hot path bare).
+        self.tracer = tracer
         #: LPs hosted here, keyed by gate index.
         self.lps: dict[int, LogicalProcess] = {
             gate.index: LogicalProcess(gate, node)
@@ -161,6 +165,10 @@ class NodeEngine:
         self.counters["rolled_back"] += undone
         self.stats.rollbacks += 1
         self.stats.events_rolled_back += undone
+        if self.tracer is not None:
+            self.tracer.emit(
+                "rollback", lp=lp.gate.index, depth=undone, t=int(to_key[0])
+            )
 
     def _apply_cancel(self, em: Message) -> None:
         lp = self.lps[em.dest]

@@ -1,0 +1,255 @@
+"""GVT ring liveness and bookkeeping, driven in-process via NodeLoop.
+
+The loop is transport-agnostic, so these tests run a full node ring on
+stdlib ``queue.Queue`` inboxes inside one process — deterministic, no
+forks — and pin down the two bookkeeping regressions the multiprocess
+backend shipped with: non-initiator nodes never resetting their
+``since_gvt`` progress counter, and clerk color tables growing without
+bound off the initiator (``forget_before`` only ever ran on node 0).
+Plus the protocol property the restart path depends on: an
+inconclusive round (whites still in flight) must extend the same
+computation until the stragglers land, then conclude correctly.
+"""
+
+from __future__ import annotations
+
+import queue
+
+import pytest
+
+from repro.partition.registry import get_partitioner
+from repro.sim import RandomStimulus, SequentialSimulator
+from repro.warped.parallel import NodeEngine, NodeLoop
+from repro.warped.parallel.protocol import T_INF
+
+
+class IdleEngine:
+    """An engine with no events — isolates the GVT machinery."""
+
+    def __init__(self):
+        self.outbox = []
+        self.fossil_gvts = []
+
+    def processable(self, gvt):
+        return False
+
+    def process_one(self):  # pragma: no cover
+        raise AssertionError("idle engine asked to process")
+
+    def min_pending(self):
+        return None
+
+    def fossil_collect(self, gvt):
+        self.fossil_gvts.append(gvt)
+
+
+def make_ring(k, engines=None, **kw):
+    inboxes = [queue.Queue() for _ in range(k)]
+    engines = engines or [IdleEngine() for _ in range(k)]
+    return [
+        NodeLoop(node, k, engines[node], inboxes, **kw) for node in range(k)
+    ]
+
+
+def drive(loops, max_iters=500_000):
+    """Round-robin the ring cooperatively until every node is done."""
+    for _ in range(max_iters):
+        if all(loop.done for loop in loops):
+            return
+        for loop in loops:
+            if loop.done:
+                continue
+            loop.poll()
+            if loop.done:
+                continue
+            loop.work_batch()
+            loop.maybe_initiate()
+    raise AssertionError("ring failed to quiesce")
+
+
+class TestRingQuiescence:
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_idle_ring_proves_quiescence(self, k):
+        loops = make_ring(k)
+        drive(loops)
+        assert all(loop.done for loop in loops)
+        assert loops[0].gvt_computations >= 1
+        # +inf skips fossil collection but every node saw the round.
+        assert all(loop.gvt_rounds_seen >= 1 for loop in loops)
+
+    def test_real_workload_ring_matches_sequential(self, s27):
+        stimulus = RandomStimulus(s27, num_cycles=15, period=20, seed=11)
+        sequential = SequentialSimulator(s27, stimulus).run()
+        k = 3
+        assignment = get_partitioner("Random", seed=4).partition(s27, k)
+        inboxes = [queue.Queue() for _ in range(k)]
+        engines = [
+            NodeEngine(s27, assignment.assignment, node, k, stimulus)
+            for node in range(k)
+        ]
+        for engine in engines:
+            engine.schedule_initial()
+        loops = [
+            NodeLoop(node, k, engines[node], inboxes, gvt_interval=32)
+            for node in range(k)
+        ]
+        drive(loops)
+        for engine in engines:
+            engine.check_quiescent()
+        values = {}
+        for engine in engines:
+            values.update(engine.final_values())
+        assert [values[i] for i in range(s27.num_gates)] == (
+            sequential.final_values
+        )
+
+
+class TestSinceGvtReset:
+    def test_every_node_resets_progress_counter(self, s27):
+        """Regression: only the initiator ever reset ``since_gvt``.
+
+        Pre-fix, a non-initiator's counter grew monotonically with every
+        event it processed, so any logic keyed on "events since the last
+        GVT" (and the trace's round bookkeeping) was garbage off node 0.
+        Post-fix every GVT application zeroes it, so at quiescence —
+        which ends with a final broadcast round — all counters read 0
+        while the engines demonstrably processed events.
+        """
+        stimulus = RandomStimulus(s27, num_cycles=15, period=20, seed=11)
+        k = 3
+        assignment = get_partitioner("Random", seed=4).partition(s27, k)
+        inboxes = [queue.Queue() for _ in range(k)]
+        engines = [
+            NodeEngine(s27, assignment.assignment, node, k, stimulus)
+            for node in range(k)
+        ]
+        for engine in engines:
+            engine.schedule_initial()
+        loops = [
+            NodeLoop(node, k, engines[node], inboxes, gvt_interval=32)
+            for node in range(k)
+        ]
+        drive(loops)
+        assert all(e.counters["events"] > 0 for e in engines)
+        assert all(loop.since_gvt == 0 for loop in loops)
+        # And every node (not just the initiator) participated in the
+        # same number of applied rounds, bar the in-flight last one.
+        seen = [loop.gvt_rounds_seen for loop in loops]
+        assert min(seen) >= 1
+
+    def test_clerk_tables_stay_bounded_off_initiator(self, s27):
+        """Regression: clerk color tables only compacted on node 0.
+
+        With ``forget_before`` now running at every GVT application,
+        every node's sent/received/send_min dicts stay O(1) even after
+        many computations (pre-fix they held one entry per color ever
+        used on non-initiators).
+        """
+        stimulus = RandomStimulus(s27, num_cycles=30, period=20, seed=11)
+        k = 3
+        assignment = get_partitioner("Random", seed=4).partition(s27, k)
+        inboxes = [queue.Queue() for _ in range(k)]
+        engines = [
+            NodeEngine(s27, assignment.assignment, node, k, stimulus)
+            for node in range(k)
+        ]
+        for engine in engines:
+            engine.schedule_initial()
+        # A tiny interval forces many GVT computations.
+        loops = [
+            NodeLoop(node, k, engines[node], inboxes, gvt_interval=4)
+            for node in range(k)
+        ]
+        drive(loops)
+        assert loops[0].gvt_computations >= 5
+        for loop in loops:
+            # floor color + at most the two live computations' colors.
+            assert len(loop.clerk.sent) <= 3, f"node {loop.node} leaked"
+            assert len(loop.clerk.received) <= 3
+            assert len(loop.clerk.send_min) <= 3
+
+
+class TestInconclusiveRound:
+    def test_in_flight_white_forces_second_trip(self):
+        """A white message in flight must make the round inconclusive,
+        and the restarted round of the SAME computation must conclude
+        once the message lands — the ring-restart path of
+        ``NodeLoop.conclude`` end to end."""
+        loops = make_ring(2)
+        l0, l1 = loops
+        # A phantom application message: sent by node 0, not yet
+        # received by node 1 (still "in the network").
+        color = l0.clerk.note_send(5)
+        assert color == 0  # white for any computation >= 1
+
+        l0.maybe_initiate()           # token -> node 1
+        assert l0.active_cid == 1
+        l1.poll()                     # fold + forward -> node 0
+        l0.poll()                     # round home: count==1, inconclusive
+        # The computation must still be open, on a fresh trip.
+        assert l0.active_cid == 1
+        assert not l0.done
+        assert l0.gvt_computations == 0
+        assert l0._round_trips == 2
+
+        # Deliver the straggler; the already-circulating retry round now
+        # balances and concludes with GVT = +inf.
+        l1.clerk.note_receive(color)
+        l1.poll()                     # fold trip 2 + forward
+        l0.poll()                     # conclusive: broadcast + done
+        assert l0.done
+        assert l0.gvt_computations == 1
+        l1.poll()                     # GVT broadcast lands
+        assert l1.done
+        assert l0.since_gvt == 0 and l1.since_gvt == 0
+
+    def test_pending_event_bounds_gvt_via_m_clock(self):
+        """A pending event's virtual time must cap the concluded GVT."""
+
+        class PendingEngine(IdleEngine):
+            t: int | None = 42
+
+            def min_pending(self):
+                return self.t
+
+        engines = [IdleEngine(), PendingEngine()]
+        loops = make_ring(2, engines=engines)
+        l0, l1 = loops
+        l0.maybe_initiate()
+        l1.poll()
+        l0.poll()
+        assert l0.gvt_computations == 1
+        assert l0.gvt == 42 and not l0.done
+        l1.poll()
+        assert l1.gvt == 42 and not l1.done
+        assert l1.engine.fossil_gvts[-1] == 42
+        # Once the event is gone, the next computation proves quiescence.
+        engines[1].t = None
+        drive(loops)
+        assert l0.done and l1.done
+
+    def test_red_send_bounds_gvt_via_m_send(self):
+        """A red in-flight message's timestamp must cap the GVT.
+
+        Node 1 joins computation 1 (turns red), then sends at t=42; the
+        message is still in flight when the round concludes, so only the
+        token's ``m_send`` fold protects it.
+        """
+        loops = make_ring(2)
+        l0, l1 = loops
+        l1.clerk.cur_cid = 1  # already red for the upcoming computation
+        sent_color = l1.clerk.note_send(42)
+        assert sent_color == 1
+        l0.maybe_initiate()
+        assert l0.active_cid == 1
+        l1.poll()
+        l0.poll()
+        # Whites balance (none exist); the red send caps the bound.
+        assert l0.gvt_computations == 1
+        assert l0.gvt == 42 and not l0.done
+        l1.poll()
+        assert l1.gvt == 42 and not l1.done
+
+    def test_idle_engine_min_is_infinite(self):
+        (loop,) = make_ring(1)
+        assert loop.local_min() == T_INF

@@ -10,6 +10,7 @@ Cross-backend result equivalence lives in
 from __future__ import annotations
 
 import os
+import time
 
 import pytest
 
@@ -267,3 +268,120 @@ class TestProcessBackend:
         )
         with pytest.raises(SimulationError, match="max_events"):
             sim.run()
+
+    def test_workers_exit_cleanly_on_success(self, s27_setup):
+        circuit, stimulus, _ = s27_setup
+        assignment = get_partitioner("Multilevel", seed=3).partition(circuit, 3)
+        sim = ProcessTimeWarpSimulator(
+            circuit, assignment, stimulus,
+            VirtualMachine(num_nodes=3, gvt_interval=32),
+        )
+        sim.run()
+        # Shutdown joined every worker (nobody needed terminate()).
+        assert sim.worker_exitcodes == {0: 0, 1: 0, 2: 0}
+
+
+# ----------------------------------------------------------------------
+# Worker-death liveness (REPRO_TW_FAULT injection hooks)
+# ----------------------------------------------------------------------
+class TestWorkerDeath:
+    """Shutdown/liveness races, each pinned by an injected fault."""
+
+    def _sim(self, s27_setup, n=2, **kw):
+        circuit, stimulus, _ = s27_setup
+        assignment = get_partitioner("Random", seed=1).partition(circuit, n)
+        kw.setdefault("timeout", 60.0)
+        return ProcessTimeWarpSimulator(
+            circuit, assignment, stimulus,
+            VirtualMachine(num_nodes=n, gvt_interval=32), **kw,
+        )
+
+    def test_injected_exception_ships_child_traceback(
+        self, s27_setup, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TW_FAULT", "1:raise")
+        sim = self._sim(s27_setup)
+        start = time.monotonic()
+        with pytest.raises(SimulationError, match="node 1 failed") as exc:
+            sim.run()
+        # The parent reports the child's actual traceback, fast — not a
+        # timeout and not a generic "something died".
+        assert "injected fault in node 1" in str(exc.value)
+        assert "Traceback" in str(exc.value)
+        assert time.monotonic() - start < 30
+
+    def test_silent_death_names_node_and_exitcode(
+        self, s27_setup, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TW_FAULT", "1:exit:7")
+        sim = self._sim(s27_setup, death_grace=0.5)
+        start = time.monotonic()
+        with pytest.raises(
+            SimulationError, match=r"node 1 \(exitcode 7\)"
+        ):
+            sim.run()
+        # Detected via exit codes + grace drain, far inside the timeout.
+        assert time.monotonic() - start < 30
+
+    def test_late_report_is_not_mistaken_for_death(
+        self, s27_setup, monkeypatch
+    ):
+        """Regression for the ``results.empty()`` liveness check.
+
+        Node 1 finishes the simulation, *sleeps past several parent
+        polls*, then reports.  Node 0 reports and exits immediately, so
+        the old check — "some worker is dead and the results queue
+        looks empty" — deterministically misfired with "a node process
+        died without reporting" while node 1's payload was seconds from
+        arriving.  The drain-with-grace parent must complete the run.
+        """
+        monkeypatch.setenv("REPRO_TW_FAULT", "1:late-report:1.0")
+        sim = self._sim(s27_setup)
+        result = sim.run()
+        assert result.backend == "process"
+        assert sim.worker_exitcodes == {0: 0, 1: 0}
+
+    def test_hung_worker_hits_the_timeout(self, s27_setup, monkeypatch):
+        monkeypatch.setenv("REPRO_TW_FAULT", "0:hang")
+        sim = self._sim(s27_setup, timeout=2.0)
+        with pytest.raises(SimulationError, match="timed out after 2s"):
+            sim.run()
+        # The hung worker was terminated, not left behind.
+        assert sim.worker_exitcodes[0] is not None
+        assert sim.worker_exitcodes[0] != 0
+
+    def test_shutdown_drains_wedged_queue_feeder(
+        self, s27_setup, monkeypatch
+    ):
+        """Regression for the shutdown-path queue handling.
+
+        Node 0 stuffs ~4k messages into its *own* inbox (which nobody
+        drains) and exits without reporting: its queue feeder thread
+        blocks flushing into the full pipe, so the process cannot exit
+        on its own.  The old shutdown called ``cancel_join_thread()``
+        and gave up after a 5s join, terminating the worker (exitcode
+        -SIGTERM).  The fixed shutdown drains inboxes *while* joining,
+        which unwedges the feeder and lets the worker exit cleanly —
+        observable as exitcode 0.
+        """
+        monkeypatch.setenv("REPRO_TW_FAULT", "0:flood:0")
+        sim = self._sim(s27_setup, timeout=2.0, death_grace=0.5)
+        with pytest.raises(SimulationError):
+            sim.run()
+        assert sim.worker_exitcodes[0] == 0, (
+            "flooding worker should exit cleanly once the parent "
+            f"drains its queue, got {sim.worker_exitcodes}"
+        )
+
+    def test_fault_spec_parsing_ignores_other_nodes(self, monkeypatch):
+        from repro.warped.parallel.backend import _worker_faults
+
+        monkeypatch.setenv(
+            "REPRO_TW_FAULT", "0:exit:3, 1:late-report:0.5 ,2:raise"
+        )
+        assert _worker_faults(0) == [("exit", "3")]
+        assert _worker_faults(1) == [("late-report", "0.5")]
+        assert _worker_faults(2) == [("raise", None)]
+        assert _worker_faults(3) == []
+        monkeypatch.delenv("REPRO_TW_FAULT")
+        assert _worker_faults(0) == []

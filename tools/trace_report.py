@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Summarize a JSONL simulation trace (see ``repro.obs``):
+
+    python tools/trace_report.py artifacts/s27.trace.jsonl
+    python tools/trace_report.py --json run.jsonl      # machine-readable
+
+Works on a merged trace or on a single worker shard; see DESIGN.md §7
+for the record schema.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+try:
+    from repro.obs import read_trace, render_trace_summary, summarize_trace
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.obs import read_trace, render_trace_summary, summarize_trace
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", nargs="+", help="JSONL trace file(s)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the summary as JSON instead of text")
+    args = parser.parse_args(argv)
+    for path in args.trace:
+        summary = summarize_trace(read_trace(path))
+        if args.json:
+            print(json.dumps(summary, indent=2, default=str))
+        else:
+            print(render_trace_summary(summary, title=path))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `trace_report.py t.jsonl | head`
+        sys.exit(0)
