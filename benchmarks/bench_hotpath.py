@@ -1,0 +1,211 @@
+"""Pinned-seed hot-path workloads for the benchmark-regression harness.
+
+Every workload here freezes the complete world — circuit (name, scale,
+generator seed), stimulus (cycles, period, seed, activity), partition
+(algorithm, seed, k) and machine policies — so two runs of the same
+workload on the same interpreter do identical work and their elapsed
+times are comparable across commits. ``tools/bench_runner.py`` runs
+them, records events/sec and peak history into the ``BENCH_<n>.json``
+trajectory at the repo root, and gates regressions.
+
+The module is import-light on purpose: building a workload's world is
+deferred to :func:`build_world` so ``--list`` stays instant.
+
+Workloads:
+
+- ``s27``            — the real embedded netlist, all three engines
+                       (sequential, virtual Time Warp, process backend);
+                       small enough for CI smoke.
+- ``synthetic-s5378``— the scaled synthetic s5378 equivalent, sequential
+                       + virtual Time Warp; the mid-size CI guard.
+- ``s9234-table2-8`` — the paper's Table 2 cell this PR's acceptance
+                       criterion measures: synthetic s9234 at harness
+                       scale, Multilevel partition, 8 nodes, bounded
+                       optimism; virtual Time Warp only.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.circuit.iscas89 import load_benchmark
+from repro.partition.registry import get_partitioner
+from repro.sim.kernel import SequentialSimulator
+from repro.sim.stimulus import RandomStimulus
+from repro.warped.kernel import TimeWarpSimulator
+from repro.warped.machine import VirtualMachine
+from repro.warped.parallel.backend import ProcessTimeWarpSimulator
+
+#: Engines a workload may request. "process" spawns real OS processes
+#: and measures real wall-clock; the other two are single-process.
+ENGINES = ("sequential", "timewarp", "process")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One frozen benchmark configuration."""
+
+    name: str
+    circuit: str
+    scale: float
+    circuit_seed: int
+    num_cycles: int
+    period: int
+    stimulus_seed: int
+    activity: float
+    partitioner: str
+    partition_seed: int
+    k: int
+    engines: tuple[str, ...]
+    machine: dict = field(default_factory=dict)
+
+
+WORKLOADS: dict[str, Workload] = {
+    w.name: w
+    for w in (
+        Workload(
+            name="s27",
+            circuit="s27",
+            scale=1.0,
+            circuit_seed=2000,
+            num_cycles=40,
+            period=100,
+            stimulus_seed=7,
+            activity=0.5,
+            partitioner="Multilevel",
+            partition_seed=3,
+            k=2,
+            engines=("sequential", "timewarp", "process"),
+            machine={"gvt_interval": 128, "optimism_window": 100},
+        ),
+        Workload(
+            name="synthetic-s5378",
+            circuit="s5378",
+            scale=0.2,
+            circuit_seed=2000,
+            num_cycles=40,
+            period=100,
+            stimulus_seed=7,
+            activity=0.5,
+            partitioner="Multilevel",
+            partition_seed=3,
+            k=4,
+            engines=("sequential", "timewarp"),
+            machine={"gvt_interval": 512, "optimism_window": 100},
+        ),
+        Workload(
+            name="s9234-table2-8",
+            circuit="s9234",
+            scale=0.12,
+            circuit_seed=2000,
+            num_cycles=60,
+            period=100,
+            stimulus_seed=7,
+            activity=0.5,
+            partitioner="Multilevel",
+            partition_seed=3,
+            k=8,
+            engines=("timewarp",),
+            machine={"gvt_interval": 512, "optimism_window": 100},
+        ),
+    )
+}
+
+
+def build_world(workload: Workload) -> tuple:
+    """(circuit, stimulus, assignment) for *workload* — deterministic."""
+    circuit = load_benchmark(
+        workload.circuit, scale=workload.scale, seed=workload.circuit_seed
+    )
+    stimulus = RandomStimulus(
+        circuit,
+        num_cycles=workload.num_cycles,
+        period=workload.period,
+        seed=workload.stimulus_seed,
+        activity=workload.activity,
+    )
+    assignment = get_partitioner(
+        workload.partitioner, seed=workload.partition_seed
+    ).partition(circuit, workload.k)
+    return circuit, stimulus, assignment
+
+
+def _machine(workload: Workload, *, process: bool = False) -> VirtualMachine:
+    kwargs = dict(workload.machine)
+    if process:
+        # The process backend honours only these knobs (its cost and
+        # network are real, and it implements no lazy/checkpoint/
+        # migration policies).
+        kwargs = {
+            key: value
+            for key, value in kwargs.items()
+            if key in ("gvt_interval", "optimism_window")
+        }
+    return VirtualMachine(num_nodes=workload.k, **kwargs)
+
+
+def run_engine(engine: str, workload: Workload, world: tuple) -> dict:
+    """One timed run; returns the measurement record for the engine.
+
+    The record is what lands in ``BENCH_<n>.json``:
+    ``events`` (processed events — a determinism check between runs),
+    ``elapsed_sec`` (host wall-clock of ``run()``), ``events_per_sec``
+    and ``peak_history`` (``None`` for the sequential engine, which
+    keeps no rollback history).
+    """
+    circuit, stimulus, assignment = world
+    if engine == "sequential":
+        simulator = SequentialSimulator(circuit, stimulus)
+    elif engine == "timewarp":
+        simulator = TimeWarpSimulator(
+            circuit, assignment, stimulus, _machine(workload)
+        )
+    elif engine == "process":
+        simulator = ProcessTimeWarpSimulator(
+            circuit, assignment, stimulus, _machine(workload, process=True)
+        )
+    else:
+        raise ValueError(f"unknown engine {engine!r}")
+    t0 = time.perf_counter()
+    result = simulator.run()
+    elapsed = time.perf_counter() - t0
+    return {
+        "events": result.events_processed,
+        "elapsed_sec": round(elapsed, 6),
+        "events_per_sec": round(result.events_processed / elapsed, 1),
+        "peak_history": getattr(result, "peak_history", None),
+    }
+
+
+def run_workload(workload: Workload, *, repeats: int = 3) -> dict:
+    """Measure every engine of *workload*; best-of-*repeats* per engine.
+
+    Best-of (not mean) because the quantity under regression control is
+    the code's attainable throughput; scheduler noise only ever slows a
+    run down, so the fastest repeat is the least noisy estimate.
+    """
+    world = build_world(workload)
+    measurements: dict[str, dict] = {}
+    for engine in workload.engines:
+        best: dict | None = None
+        for _ in range(repeats):
+            record = run_engine(engine, workload, world)
+            # The single-process engines are deterministic: a varying
+            # event count means the workload is not actually pinned.
+            # The process backend's count legitimately varies (real
+            # rollback races), so it is exempt.
+            if (
+                engine != "process"
+                and best is not None
+                and record["events"] != best["events"]
+            ):
+                raise RuntimeError(
+                    f"{workload.name}/{engine}: event count varied between "
+                    f"repeats ({best['events']} vs {record['events']}) — "
+                    "workload is not pinned"
+                )
+            if best is None or record["elapsed_sec"] < best["elapsed_sec"]:
+                best = record
+        measurements[engine] = best
+    return measurements

@@ -10,7 +10,7 @@ subset the simulator needs.
 from __future__ import annotations
 
 from enum import Enum
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 
 FALSE = 0
 TRUE = 1
@@ -155,6 +155,198 @@ def evaluate_gate(gate_type: GateType, inputs: Sequence[int]) -> int:
         return logic_not(inputs[0])
     # BUF and (transparent) DFF
     return inputs[0]
+
+
+def _nand_all(values: Sequence[int]) -> int:
+    # Flattened NOT(AND(...)): one frame instead of three on a path the
+    # simulators hit per evaluated event.
+    saw_x = False
+    for v in values:
+        if v == FALSE:
+            return TRUE
+        if v == UNKNOWN:
+            saw_x = True
+    return UNKNOWN if saw_x else FALSE
+
+
+def _nor_all(values: Sequence[int]) -> int:
+    saw_x = False
+    for v in values:
+        if v == TRUE:
+            return FALSE
+        if v == UNKNOWN:
+            saw_x = True
+    return UNKNOWN if saw_x else TRUE
+
+
+def _xnor_all(values: Sequence[int]) -> int:
+    acc = FALSE
+    for v in values:
+        if v == UNKNOWN:
+            return UNKNOWN
+        acc ^= v
+    return TRUE - acc
+
+
+def _first(values: Sequence[int]) -> int:
+    return values[0]
+
+
+def _not_first(values: Sequence[int]) -> int:
+    return logic_not(values[0])
+
+
+#: Validation-free evaluators, one per combinational gate type. The
+#: simulators run millions of evaluations over circuits whose arity was
+#: checked once at freeze time; this dispatch skips ``evaluate_gate``'s
+#: per-call arity checks and enum property lookups. Callers must not
+#: pass INPUT and must pass a fanin-ordered value sequence (which the
+#: evaluator never mutates).
+EVAL_FUNCS: dict[GateType, "Callable[[Sequence[int]], int]"] = {
+    GateType.AND: _and_all,
+    GateType.NAND: _nand_all,
+    GateType.OR: _or_all,
+    GateType.NOR: _nor_all,
+    GateType.XOR: _xor_all,
+    GateType.XNOR: _xnor_all,
+    GateType.NOT: _not_first,
+    GateType.BUF: _first,
+    GateType.DFF: _first,
+}
+
+
+def _and2(values: Sequence[int]) -> int:
+    a = values[0]
+    b = values[1]
+    if a == FALSE or b == FALSE:
+        return FALSE
+    if a == UNKNOWN or b == UNKNOWN:
+        return UNKNOWN
+    return TRUE
+
+
+def _nand2(values: Sequence[int]) -> int:
+    a = values[0]
+    b = values[1]
+    if a == FALSE or b == FALSE:
+        return TRUE
+    if a == UNKNOWN or b == UNKNOWN:
+        return UNKNOWN
+    return FALSE
+
+
+def _or2(values: Sequence[int]) -> int:
+    a = values[0]
+    b = values[1]
+    if a == TRUE or b == TRUE:
+        return TRUE
+    if a == UNKNOWN or b == UNKNOWN:
+        return UNKNOWN
+    return FALSE
+
+
+def _nor2(values: Sequence[int]) -> int:
+    a = values[0]
+    b = values[1]
+    if a == TRUE or b == TRUE:
+        return FALSE
+    if a == UNKNOWN or b == UNKNOWN:
+        return UNKNOWN
+    return TRUE
+
+
+def _xor2(values: Sequence[int]) -> int:
+    a = values[0]
+    b = values[1]
+    if a == UNKNOWN or b == UNKNOWN:
+        return UNKNOWN
+    return a ^ b
+
+
+def _xnor2(values: Sequence[int]) -> int:
+    a = values[0]
+    b = values[1]
+    if a == UNKNOWN or b == UNKNOWN:
+        return UNKNOWN
+    return TRUE - (a ^ b)
+
+
+def _and3(values: Sequence[int]) -> int:
+    a = values[0]
+    b = values[1]
+    c = values[2]
+    if a == FALSE or b == FALSE or c == FALSE:
+        return FALSE
+    if a == UNKNOWN or b == UNKNOWN or c == UNKNOWN:
+        return UNKNOWN
+    return TRUE
+
+
+def _nand3(values: Sequence[int]) -> int:
+    a = values[0]
+    b = values[1]
+    c = values[2]
+    if a == FALSE or b == FALSE or c == FALSE:
+        return TRUE
+    if a == UNKNOWN or b == UNKNOWN or c == UNKNOWN:
+        return UNKNOWN
+    return FALSE
+
+
+def _or3(values: Sequence[int]) -> int:
+    a = values[0]
+    b = values[1]
+    c = values[2]
+    if a == TRUE or b == TRUE or c == TRUE:
+        return TRUE
+    if a == UNKNOWN or b == UNKNOWN or c == UNKNOWN:
+        return UNKNOWN
+    return FALSE
+
+
+def _nor3(values: Sequence[int]) -> int:
+    a = values[0]
+    b = values[1]
+    c = values[2]
+    if a == TRUE or b == TRUE or c == TRUE:
+        return FALSE
+    if a == UNKNOWN or b == UNKNOWN or c == UNKNOWN:
+        return UNKNOWN
+    return TRUE
+
+
+#: Straight-line fixed-arity specialisations of :data:`EVAL_FUNCS`,
+#: keyed by (gate type, fanin arity). Two- and three-input gates
+#: dominate ISCAS'89 netlists; the generic loops above pay per-call
+#: iterator setup that a fixed-arity body avoids. Same ternary truth
+#: tables, bit for bit.
+EVAL_FUNCS_2: dict[GateType, "Callable[[Sequence[int]], int]"] = {
+    GateType.AND: _and2,
+    GateType.NAND: _nand2,
+    GateType.OR: _or2,
+    GateType.NOR: _nor2,
+    GateType.XOR: _xor2,
+    GateType.XNOR: _xnor2,
+}
+
+EVAL_FUNCS_BY_ARITY: dict[tuple[GateType, int], "Callable[[Sequence[int]], int]"] = {
+    (GateType.AND, 2): _and2,
+    (GateType.NAND, 2): _nand2,
+    (GateType.OR, 2): _or2,
+    (GateType.NOR, 2): _nor2,
+    (GateType.XOR, 2): _xor2,
+    (GateType.XNOR, 2): _xnor2,
+    (GateType.AND, 3): _and3,
+    (GateType.NAND, 3): _nand3,
+    (GateType.OR, 3): _or3,
+    (GateType.NOR, 3): _nor3,
+}
+
+
+def eval_func(gate_type: GateType, arity: int) -> "Callable[[Sequence[int]], int] | None":
+    """Fastest evaluator for *gate_type* at *arity* (``None`` for INPUT)."""
+    f = EVAL_FUNCS_BY_ARITY.get((gate_type, arity))
+    return f if f is not None else EVAL_FUNCS.get(gate_type)
 
 
 #: Controlling value per gate type: an input at this value fixes the output

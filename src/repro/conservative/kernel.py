@@ -212,7 +212,7 @@ class ConservativeSimulator:
 
         def output_floor(node: int, channel: tuple[int, int]) -> int:
             """Earliest timestamp *node* could still emit on *channel*."""
-            pending_min = queues[node].min_time()
+            pending_min = queues[node].min_time
             horizon = min(
                 pending_min if pending_min is not None else INF_TIME,
                 incoming_bound(node),
@@ -259,7 +259,7 @@ class ConservativeSimulator:
             any_pending = False
             for node in range(n_nodes):
                 queue = queues[node]
-                min_time = queue.min_time()
+                min_time = queue.min_time
                 if min_time is None:
                     continue
                 any_pending = True

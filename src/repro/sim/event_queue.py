@@ -10,24 +10,32 @@ from repro.sim.event import Event
 class EventQueue:
     """Min-heap of :class:`Event` ordered by ``(time, prio, src, n)``.
 
-    Supports lazy deletion (needed by the Time Warp node queues for
-    anti-message annihilation); the sequential kernel never deletes.
+    Supports lazy deletion by key (annihilation of a scheduled event);
+    the sequential kernel never deletes. ``remove`` enforces the same
+    strict contract as ``NodeQueue.annihilate``: deleting a key that was
+    never pushed, is already dead, or was already popped raises
+    ``KeyError`` — silently accepting it would let the live count drift
+    negative and ``__len__``/``__bool__`` disagree.
     """
 
     def __init__(self) -> None:
         self._heap: list[tuple[tuple[int, int, int, int], Event]] = []
         self._dead: set[tuple[int, int, int, int]] = set()
-        self._live = 0
+        self._live_keys: set[tuple[int, int, int, int]] = set()
 
     def push(self, event: Event) -> None:
         """Insert *event* (reviving its key if it was lazily deleted)."""
         key = event.key
         if key in self._dead:
-            # Re-inserting a key marked dead revives it (annihilation
-            # consumed the old copy; this is a fresh emission).
+            # The annihilated copy is still sitting in the heap (lazy
+            # deletion). Purge it now: merely clearing the dead mark
+            # would leave two entries live under one key, and pop could
+            # hand back the stale corpse instead of this fresh emission.
             self._dead.discard(key)
+            self._heap = [entry for entry in self._heap if entry[0] != key]
+            heapq.heapify(self._heap)
         heapq.heappush(self._heap, (key, event))
-        self._live += 1
+        self._live_keys.add(key)
 
     def pop(self) -> Event:
         """Remove and return the earliest live event."""
@@ -36,14 +44,19 @@ class EventQueue:
             if key in self._dead:
                 self._dead.discard(key)
                 continue
-            self._live -= 1
+            self._live_keys.discard(key)
             return event
         raise IndexError("pop from empty EventQueue")
 
     def remove(self, key: tuple[int, int, int, int]) -> None:
-        """Lazily delete the (unique) event with *key*."""
+        """Lazily delete the (unique) live event with *key*.
+
+        Raises :class:`KeyError` if no live event has that key.
+        """
+        if key not in self._live_keys:
+            raise KeyError(f"event key {key} is not pending")
+        self._live_keys.discard(key)
         self._dead.add(key)
-        self._live -= 1
 
     def peek_key(self) -> tuple[int, int, int, int] | None:
         """Key of the next live event, or ``None`` when empty."""
@@ -57,7 +70,7 @@ class EventQueue:
         return None
 
     def __len__(self) -> int:
-        return self._live
+        return len(self._live_keys)
 
     def __bool__(self) -> bool:
-        return self.peek_key() is not None
+        return bool(self._live_keys)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.circuit.gate import FALSE, UNKNOWN, GateType, evaluate_gate
+from repro.circuit.gate import FALSE, UNKNOWN, GateType, eval_func
 from repro.circuit.graph import CircuitGraph
 from repro.errors import SimulationError
 from repro.sim.cost_model import SequentialCostModel
@@ -135,42 +135,49 @@ class SequentialSimulator:
                 cycles=stim.num_cycles,
             )
         gates = circuit.gates
+        # Hot-loop tables: one indexed read per use instead of attribute
+        # chains and per-call arity validation (the circuit is frozen —
+        # arity was checked once at build time).
+        evals = [eval_func(g.gate_type, len(g.fanin)) for g in gates]
+        fanins = [g.fanin for g in gates]
+        fanouts = [g.fanout for g in gates]
+        delays = [g.delay for g in gates]
+        sequential = [g.gate_type.is_sequential for g in gates]
+        trace_record = self.trace.record if self.trace is not None else None
+        queue_pop = queue.pop
+        max_events = self.max_events
         while queue:
-            event = queue.pop()
+            event = queue_pop()
             events_processed += 1
-            if events_processed > self.max_events:
+            if events_processed > max_events:
                 raise SimulationError(
                     f"exceeded max_events={self.max_events}; "
                     "runaway oscillation or workload too large"
                 )
-            if forced and event.src in forced and event.prio != SIG:
+            src = event.src
+            if forced and src in forced and event.prio != SIG:
                 continue  # pinned gates ignore stimulus and clocks
             if event.prio == CAPTURE:
-                ff = event.src
-                data = value[gates[ff].fanin[0]]
-                if data != eval_value[ff]:
-                    eval_value[ff] = data
-                    capture_log[(ff, event.n)] = data
-                    emit(event.time + gates[ff].delay, ff, data)
+                data = value[fanins[src][0]]
+                if data != eval_value[src]:
+                    eval_value[src] = data
+                    capture_log[(src, event.n)] = data
+                    emit(event.time + delays[src], src, data)
                 continue
             # STIM and SIG both apply an output change, then fan out.
-            src = event.src
             value[src] = event.value
-            if self.trace is not None:
-                self.trace.record(event.time, src, event.value)
-            for sink in gates[src].fanout:
+            if trace_record is not None:
+                trace_record(event.time, src, event.value)
+            time_ = event.time
+            for sink in fanouts[src]:
                 if forced and sink in forced:
                     continue  # pinned gates never re-evaluate
-                sink_gate = gates[sink]
-                if sink_gate.gate_type.is_sequential:
+                if sequential[sink]:
                     continue  # DFFs sample on CAPTURE, not on data edges
-                nv = evaluate_gate(
-                    sink_gate.gate_type,
-                    [value[d] for d in sink_gate.fanin],
-                )
+                nv = evals[sink]([value[d] for d in fanins[sink]])
                 if nv != eval_value[sink]:
                     eval_value[sink] = nv
-                    emit(event.time + sink_gate.delay, sink, nv)
+                    emit(time_ + delays[sink], sink, nv)
 
         if self.tracer is not None:
             self.tracer.emit(

@@ -12,13 +12,24 @@ Cancellation is *eager at insertion*: a straggler or anti-message rolls
 its LP back the moment it reaches the node, and cascades (undone sends
 annihilating downstream work) are drained iteratively — chains through
 deep circuits would blow the recursion limit otherwise.
+
+Hot-path bookkeeping is incremental (PR 3): node queues cache their
+head key, the global history size (and its peak, the true memory
+high-water mark) is maintained per process/undo instead of summed per
+GVT round, fossil collection only visits LPs that actually hold
+history, and the load-balancer's activity decay is applied lazily on
+read. The differential suite (``tests/test_seed_equivalence.py``) pins
+all of it to the pre-optimization kernel's observable behavior.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
 import time
+from bisect import insort as bisect_insort
 from collections import deque
+from itertools import count
 
 from repro.circuit.graph import CircuitGraph
 from repro.errors import SimulationError
@@ -26,9 +37,10 @@ from repro.partition.assignment import PartitionAssignment
 from repro.sim.event import CAPTURE, SIG, STIM
 from repro.sim.stimulus import Stimulus
 from repro.warped.gvt import GVT_END, compute_gvt
-from repro.warped.lp import LogicalProcess
+from repro.warped.lp import LogicalProcess, ProcessedRecord, gate_statics
 from repro.warped.machine import VirtualMachine
 from repro.warped.messages import ANTI, Message
+from repro.warped.network import UniformNetwork
 from repro.warped.queues import NodeQueue
 from repro.warped.stats import NodeStats, TimeWarpResult
 from repro.circuit.gate import FALSE
@@ -81,31 +93,48 @@ class TimeWarpSimulator:
         network = machine.network
         n_nodes = machine.num_nodes
 
+        statics = gate_statics(circuit)
         lps = [
             LogicalProcess(
                 gate,
                 self.assignment[gate.index],
                 checkpoint_interval=machine.checkpoint_interval,
+                static=statics[gate.index],
             )
             for gate in circuit.gates
         ]
         checkpointing = machine.checkpoint_interval is not None
+        ckpt_interval = machine.checkpoint_interval
         queues = [NodeQueue() for _ in range(n_nodes)]
         wall = [0.0] * n_nodes
         busy = [0.0] * n_nodes
         migration_threshold = machine.migration_threshold
+        migrating = migration_threshold is not None
         # Dynamic load balancing bookkeeping: work done per node since
         # the previous GVT round, and a decaying per-LP activity score
-        # used to pick which LPs to move.
+        # used to pick which LPs to move. The decay (halving after every
+        # migration) is lazy: each LP folds the epochs it missed into
+        # its score the next time the score is touched, so a migration
+        # costs O(1) instead of O(gates).
         busy_at_last_gvt = [0.0] * n_nodes
         lp_activity = [0.0] * circuit.num_gates
+        lp_activity_epoch = [0] * circuit.num_gates
+        decay_epoch = 0
         busy_at_last_sample = [0.0] * n_nodes
         utilization_timeline: list[tuple[float, list[float]]] = []
         node_stats = [NodeStats(node=i) for i in range(n_nodes)]
         for lp in lps:
             node_stats[lp.node].num_lps += 1
+        # Hot per-node tallies, folded into node_stats at the end.
+        ns_events = [0] * n_nodes
+        ns_local = [0] * n_nodes
+        ns_remote = [0] * n_nodes
 
         in_flight: list[tuple[float, int, Message]] = []
+        # Cached arrival time of the earliest in-flight message (INF when
+        # none): the scheduler compares it against the processing
+        # candidate once per event, so the heap head is not re-read.
+        next_arrival = float("inf")
         waiting_antis: dict[int, Message] = {}
         pending_cancels: deque[Message] = deque()
         lazy = machine.cancellation == "lazy"
@@ -114,12 +143,9 @@ class TimeWarpSimulator:
         # on first divergence or when virtual time passes them by).
         lazy_buffers: dict[int, deque[Message]] = {}
 
-        uid_counter = 0
-
-        def next_uid() -> int:
-            nonlocal uid_counter
-            uid_counter += 1
-            return uid_counter
+        # Fresh message uids, minted at C speed (one closure frame per
+        # uid was measurable at ~1.4 uid mints per event).
+        next_uid = count(1).__next__
 
         flight_seq = 0
         trace = self.trace_hook
@@ -141,6 +167,17 @@ class TimeWarpSimulator:
             "peak_history": 0,
             "migrations": 0,
         }
+        # Incrementally-maintained total/peak of in-history records
+        # (sum of len(lp.processed) over all LPs). The peak is tracked
+        # on every growth step, not sampled at GVT rounds, so it is the
+        # true memory high-water mark even with a sparse gvt_interval.
+        history_total = 0
+        peak_history = 0
+        # LPs currently holding history records (the only ones a
+        # fossil-collection sweep needs to visit), mapped to the virtual
+        # time of their OLDEST record — the sweep's skip test reads the
+        # map instead of chasing lp.processed[0].msg.time attributes.
+        oldest_times: dict[int, int] = {}
 
         # ------------------------------------------------------------
         # cancellation machinery (iterative, see module docstring)
@@ -152,16 +189,12 @@ class TimeWarpSimulator:
                 sent = 0
             else:
                 anti = em.make_anti()
-                nonlocal flight_seq
+                nonlocal flight_seq, next_arrival
                 flight_seq += 1
-                heapq.heappush(
-                    in_flight,
-                    (
-                        depart + network.latency(node, lps[em.dest].node),
-                        flight_seq,
-                        anti,
-                    ),
-                )
+                arr = depart + network.latency(node, lps[em.dest].node)
+                heapq.heappush(in_flight, (arr, flight_seq, anti))
+                if arr < next_arrival:
+                    next_arrival = arr
                 sent = 1
                 if trace:
                     trace("anti_sent", em.uid, node, lps[em.dest].node)
@@ -232,6 +265,7 @@ class TimeWarpSimulator:
         def rollback(
             lp: LogicalProcess, to_key, now_wall: float, cancel_uid: int | None
         ) -> None:
+            nonlocal history_total
             node = lp.node
             stats = node_stats[node]
             remote_antis = 0
@@ -251,6 +285,9 @@ class TimeWarpSimulator:
                 while lp.last_key >= to_key:
                     undone_records.append(lp.undo_last())
             undone = len(undone_records)
+            history_total -= undone
+            if not lp.processed:
+                oldest_times.pop(lp.gate.index, None)
             for record in undone_records:
                 if record.msg.prio == CAPTURE:
                     capture_log.pop((record.msg.dest, record.msg.n), None)
@@ -320,27 +357,7 @@ class TimeWarpSimulator:
             while pending_cancels:
                 apply_cancel(pending_cancels.popleft(), now_wall)
 
-        def insert_positive(msg: Message, now_wall: float) -> None:
-            if msg.uid in waiting_antis:
-                del waiting_antis[msg.uid]
-                if trace:
-                    trace("annihilate_on_arrival", msg.uid)
-                return
-            lp = lps[msg.dest]
-            if msg.key <= lp.last_key:
-                rollback(lp, msg.key, now_wall, cancel_uid=None)
-            queues[lp.node].push(msg)
-
-        def deliver(msg: Message, arrival: float) -> None:
-            # Taking a message off the wire costs destination CPU.
-            dest_node = lps[msg.dest].node
-            wall[dest_node] = max(wall[dest_node], arrival) + cost.recv_overhead
-            busy[dest_node] += cost.recv_overhead
-            if msg.sign == ANTI:
-                apply_cancel(msg, arrival)
-            else:
-                insert_positive(msg, arrival)
-            drain_cancels(arrival)
+        recv_overhead = cost.recv_overhead
 
         # ------------------------------------------------------------
         # initial schedule (mirrors the sequential kernel exactly)
@@ -373,18 +390,37 @@ class TimeWarpSimulator:
         if checkpointing:
             # Incremental state saving is folded into event_cost; with
             # periodic snapshots the per-event share is skipped and the
-            # snapshot itself is charged when taken.
-            event_cost = max(1e-9, cost.event_cost - cost.state_save_cost)
+            # snapshot itself is charged when taken (the cost model
+            # validates state_save_cost < event_cost).
+            event_cost = cost.event_cost - cost.state_save_cost
         send_overhead = cost.send_overhead
+        state_save_cost = cost.state_save_cost
+        # Constant-latency networks (the default) skip the per-send
+        # virtual dispatch: every cross-node hop costs uniform_delay.
+        uniform_delay = (
+            network.delay if type(network).latency is UniformNetwork.latency
+            else None
+        )
         window = machine.optimism_window
         gvt_now = 0.0  # current GVT estimate (for window throttling)
+        horizon = None if window is None else gvt_now + window
+        events = 0
+        local_messages = 0
+        app_messages = 0
+        max_events = self.max_events
+
+        def fold_activity(gate_index: int) -> float:
+            """Apply pending lazy decay; returns the current score."""
+            behind = decay_epoch - lp_activity_epoch[gate_index]
+            if behind:
+                lp_activity[gate_index] *= 0.5 ** behind
+                lp_activity_epoch[gate_index] = decay_epoch
+            return lp_activity[gate_index]
 
         def run_gvt_round() -> float:
+            nonlocal history_total
             round_t0 = time.perf_counter()
             counters["gvt_rounds"] += 1
-            history = sum(len(lp_.processed) for lp_ in lps)
-            if history > counters["peak_history"]:
-                counters["peak_history"] = history
             if lazy:
                 # Buffered undone sends strictly below the pending/
                 # in-flight floor can never be re-derived (an LP only
@@ -414,8 +450,35 @@ class TimeWarpSimulator:
                 )
             gvt = compute_gvt(queues, outstanding)
             if gvt < GVT_END:
-                for lp_ in lps:
-                    lp_.fossil_collect(int(gvt))
+                floor_t = int(gvt)
+                for index, oldest in list(oldest_times.items()):
+                    # Fast path: an LP whose oldest record is at or
+                    # above the floor has nothing to free.
+                    if oldest >= floor_t:
+                        continue
+                    lp_ = lps[index]
+                    if checkpointing:
+                        # Snapshot bookkeeping: delegate to the method.
+                        history_total -= lp_.fossil_collect(floor_t)
+                    else:
+                        # Incremental mode frees a plain prefix —
+                        # inlined, single pass (this sweep touches every
+                        # committed record once over a run).
+                        processed_ = lp_.processed
+                        uids_ = lp_.processed_uids
+                        keep_from = 0
+                        for record_ in processed_:
+                            m_ = record_.msg
+                            if m_.time >= floor_t:
+                                break
+                            uids_.discard(m_.uid)
+                            keep_from += 1
+                        del processed_[:keep_from]
+                        history_total -= keep_from
+                    if lp_.processed:
+                        oldest_times[index] = lp_.processed[0].msg.time
+                    else:
+                        del oldest_times[index]
             for node_ in range(n_nodes):
                 wall[node_] += cost.gvt_cost
                 busy[node_] += cost.gvt_cost
@@ -427,7 +490,7 @@ class TimeWarpSimulator:
             )
             for i in range(n_nodes):
                 busy_at_last_sample[i] = busy[i]
-            if migration_threshold is not None and gvt < GVT_END:
+            if migrating and gvt < GVT_END:
                 migrate_load()
             if tracer is not None:
                 tracer.emit(
@@ -448,6 +511,7 @@ class TimeWarpSimulator:
             delivery time, and the moved LP's pending events follow it —
             so migration is transparent to the Time Warp protocol.
             """
+            nonlocal decay_epoch
             window = [busy[i] - busy_at_last_gvt[i] for i in range(n_nodes)]
             for i in range(n_nodes):
                 busy_at_last_gvt[i] = busy[i]
@@ -481,7 +545,7 @@ class TimeWarpSimulator:
                 )
 
             residents.sort(
-                key=lambda g: (attachment(g), -lp_activity[g], g)
+                key=lambda g: (attachment(g), -fold_activity(g), g)
             )
             moving = residents[:budget]
             moved_set = set(moving)
@@ -497,108 +561,399 @@ class TimeWarpSimulator:
             counters["migrations"] += len(moving)
             node_stats[hot].num_lps -= len(moving)
             node_stats[cold].num_lps += len(moving)
-            # Decay activity so the score tracks RECENT load.
-            for g in range(circuit.num_gates):
-                lp_activity[g] *= 0.5
+            # Decay activity so the score tracks RECENT load; lazy —
+            # every LP folds the halving in on its next touch.
+            decay_epoch += 1
 
-        while True:
-            next_arrival = in_flight[0][0] if in_flight else None
-            horizon = None if window is None else gvt_now + window
-            proc_node = -1
-            proc_wall = None
-            any_pending = False
-            for node in range(n_nodes):
-                # One fused peek per node: emptiness and the window
-                # check share it (this scan runs once per processed
-                # event and dominated the profile when split).
-                min_time = queues[node].min_time()
-                if min_time is None:
-                    continue
-                any_pending = True
-                if horizon is not None and min_time > horizon:
-                    continue  # beyond the optimism window: node idles
-                if proc_wall is None or wall[node] < proc_wall:
-                    proc_wall = wall[node]
-                    proc_node = node
-            if next_arrival is None and not any_pending:
-                if lazy and any(lazy_buffers.values()):
-                    # Quiescence with unresolved lazy sends: those
-                    # messages will never be re-derived — cancel them all
-                    # and let the cleanup cascade settle.
-                    for lp_ in lps:
-                        flush_lazy(lp_, max(wall), before=None)
-                    drain_cancels(max(wall))
-                    continue
-                break
-            if proc_wall is None and next_arrival is None:
-                # Every pending event sits beyond the window: a fresh GVT
-                # round re-opens it (min pending time IS the new GVT).
-                since_gvt = 0
-                gvt_now = run_gvt_round()
-                continue
-            if proc_wall is None or (
-                next_arrival is not None and next_arrival <= proc_wall
-            ):
-                arrival, _, msg = heapq.heappop(in_flight)
-                deliver(msg, arrival)
-                continue
+        INF = float("inf")
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        insort = bisect_insort
+        oldest_setdefault = oldest_times.setdefault
+        msg_new = Message.__new__
+        rec_new = ProcessedRecord.__new__
 
-            node = proc_node
-            msg = queues[node].pop()
-            lp = lps[msg.dest]
-            if lazy and lazy_buffers.get(msg.dest):
-                # Buffered sends with an emission time this event can no
-                # longer produce are refuted: virtual time passed them.
-                flush_lazy(lp, wall[node], before=msg.time)
-            record = lp.process(msg, next_uid)
-            if trace:
-                trace("process", msg.uid, msg.dest, msg.key)
-            if msg.prio == CAPTURE and record.old_output != lp.output_value:
-                capture_log[(msg.dest, msg.n)] = lp.output_value
-            counters["events"] += 1
-            node_stats[node].events_processed += 1
-            lp_activity[msg.dest] += 1.0
-            if counters["events"] > self.max_events:
-                raise SimulationError(
-                    f"exceeded max_events={self.max_events}; "
-                    "thrashing rollbacks or workload too large"
-                )
-            wall[node] += event_cost
-            busy[node] += event_cost
-            if checkpointing and lp._since_checkpoint == 0:
-                wall[node] += cost.state_save_cost  # snapshot just taken
-                busy[node] += cost.state_save_cost
-            now = wall[node]
-            if lazy and record.emissions and lazy_buffers.get(msg.dest):
-                _lazy_match(lp, record, now)
-            remote_sends = 0
-            for em in record.emissions:
-                if em.uid in reused_uids:
-                    reused_uids.discard(em.uid)
-                    continue  # live at its destination from before the rollback
-                dest_node = lps[em.dest].node
-                if dest_node == node:
-                    counters["local_messages"] += 1
-                    node_stats[node].messages_sent_local += 1
-                    insert_positive(em, now)
+        # --- scheduler tournament tree --------------------------------
+        # The executive repeatedly needs argmin over nodes of
+        # (wall, node) restricted to nodes with an eligible pending
+        # event (non-empty queue, head inside the optimism window).
+        # Each loop iteration mutates exactly ONE node (the processing
+        # node, or a delivery's destination — cancellation cascades stay
+        # on that node by construction), so instead of rescanning all
+        # nodes per event, leaves of a small tournament tree hold
+        # (wall, node) — or (inf, node) when ineligible — and one leaf
+        # update bubbles through log2(nodes) internal mins. Ties on
+        # wall resolve to the lowest node index, exactly like the scan
+        # it replaces. GVT rounds, migration and quiescence flushes
+        # touch many nodes at once and trigger a full rebuild.
+        tree_size = 1
+        while tree_size < n_nodes:
+            tree_size <<= 1
+        sched_tree: list[tuple[float, int]] = [(INF, 0)] * (2 * tree_size)
+        idle_leaves = [(INF, i) for i in range(tree_size)]
+
+        def sched_rebuild() -> None:
+            for i in range(tree_size):
+                if i < n_nodes:
+                    t = queues[i].min_time
+                    if t is None or (horizon is not None and t > horizon):
+                        sched_tree[tree_size + i] = idle_leaves[i]
+                    else:
+                        sched_tree[tree_size + i] = (wall[i], i)
                 else:
-                    flight_seq += 1
-                    heapq.heappush(
-                        in_flight,
-                        (now + network.latency(node, dest_node), flight_seq, em),
-                    )
-                    counters["app_messages"] += 1
-                    node_stats[node].messages_sent_remote += 1
-                    remote_sends += 1
-            if remote_sends:
-                wall[node] += send_overhead * remote_sends
-                busy[node] += send_overhead * remote_sends
-            drain_cancels(wall[node])
+                    sched_tree[tree_size + i] = idle_leaves[i]
+            for k in range(tree_size - 1, 0, -1):
+                a = sched_tree[k + k]
+                b = sched_tree[k + k + 1]
+                sched_tree[k] = a if a <= b else b
 
-            since_gvt += 1
-            if since_gvt >= gvt_interval:
-                since_gvt = 0
-                gvt_now = run_gvt_round()
+        sched_rebuild()
+
+        # The hot loop allocates heavily (messages, records, heap
+        # tuples) but never creates reference cycles: everything
+        # dies by refcount. Generational GC passes triggered by that
+        # churn are pure overhead, so they are suspended for the
+        # duration of the run and restored on every exit path.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            # The scheduler root (earliest eligible node) is carried in
+            # (proc_wall, node) across iterations: every path that
+            # changes the tree rebinds it, so the loop top re-reads
+            # nothing.
+            proc_wall, node = sched_tree[1]
+            while True:
+                if next_arrival <= proc_wall:
+                    # Either a message arrives before the processing
+                    # candidate, or both are INF (scheduler idle AND
+                    # nothing in flight). The single compare covers the
+                    # old separate idle check: proc_wall == INF implies
+                    # next_arrival <= proc_wall.
+                    if in_flight:
+                        # --- deliver, inlined ----------------------------
+                        # Taking a message off the wire costs destination
+                        # CPU. Only the destination node's state changes;
+                        # its scheduler leaf update is folded in at the
+                        # end.
+                        arrival, _, msg = heappop(in_flight)
+                        next_arrival = in_flight[0][0] if in_flight else INF
+                        d_lp = lps[msg.dest]
+                        d_node = d_lp.node
+                        w = wall[d_node]
+                        wall[d_node] = (w if w >= arrival else arrival) + recv_overhead
+                        busy[d_node] += recv_overhead
+                        if msg.sign == ANTI:
+                            apply_cancel(msg, arrival)
+                        elif msg.uid in waiting_antis:
+                            del waiting_antis[msg.uid]
+                            if trace:
+                                trace("annihilate_on_arrival", msg.uid)
+                        else:
+                            if msg.key <= d_lp.last_key:
+                                rollback(d_lp, msg.key, arrival, cancel_uid=None)
+                            # NodeQueue.push, inlined (hot: every positive
+                            # arrival).
+                            q = queues[d_lp.node]
+                            sk = (msg.time, msg.prio, msg.src, msg.n, msg.dest, msg.uid)
+                            nk = (-msg.time, -msg.prio, -msg.src, -msg.n, -msg.dest, -msg.uid)
+                            insort(q._list, (nk, sk, msg))
+                            q._uid_keys[msg.uid] = nk
+                            mk = q.min_key
+                            if mk is None or sk < mk:
+                                q.min_key = sk
+                                q.min_time = msg.time
+                        if pending_cancels:
+                            drain_cancels(arrival)
+                        # sched_update(d_node), inlined; the final bubble
+                        # value IS the new root.
+                        t = queues[d_node].min_time
+                        if t is None or (horizon is not None and t > horizon):
+                            m = idle_leaves[d_node]
+                        else:
+                            m = (wall[d_node], d_node)
+                        k = tree_size + d_node
+                        sched_tree[k] = m
+                        while k > 1:
+                            k >>= 1
+                            a = sched_tree[k + k]
+                            b = sched_tree[k + k + 1]
+                            m = a if a <= b else b
+                            sched_tree[k] = m
+                        proc_wall, node = m
+                        continue
+                    if any(queue.min_time is not None for queue in queues):
+                        # Every pending event sits beyond the window: a
+                        # fresh GVT round re-opens it (min pending time IS
+                        # the new GVT).
+                        since_gvt = 0
+                        gvt_now = run_gvt_round()
+                        if window is not None:
+                            horizon = gvt_now + window
+                        sched_rebuild()
+                        proc_wall, node = sched_tree[1]
+                        continue
+                    if lazy and any(lazy_buffers.values()):
+                        # Quiescence with unresolved lazy sends: those
+                        # messages will never be re-derived — cancel them all
+                        # and let the cleanup cascade settle.
+                        for lp_ in lps:
+                            flush_lazy(lp_, max(wall), before=None)
+                        drain_cancels(max(wall))
+                        sched_rebuild()
+                        proc_wall, node = sched_tree[1]
+                        continue
+                    break
+
+                proc_queue = queues[node]
+                # --- NodeQueue.pop, inlined ------------------------------
+                qlist = proc_queue._list
+                uid_keys = proc_queue._uid_keys
+                _, _, msg = qlist.pop()
+                del uid_keys[msg.uid]
+                if qlist:
+                    head_key = qlist[-1][1]
+                    proc_queue.min_key = head_key
+                    proc_queue.min_time = head_key[0]
+                else:
+                    proc_queue.min_key = None
+                    proc_queue.min_time = None
+                # --- end inlined pop -------------------------------------
+                dest = msg.dest
+                lp = lps[dest]
+                if lazy and lazy_buffers.get(dest):
+                    # Buffered sends with an emission time this event can no
+                    # longer produce are refuted: virtual time passed them.
+                    flush_lazy(lp, wall[node], before=msg.time)
+                # --- LogicalProcess.process, inlined ---------------------
+                # The method remains the public API (tests, the process
+                # backend) and keeps the straggler assertion; the
+                # executive runs the body inline because the call
+                # dominated the per-event profile, and relies on the
+                # rollback-before-process contract the surrounding code
+                # enforces (tests/test_seed_equivalence.py checks the
+                # outcome against the reference kernel). Any change here
+                # must mirror lp.py.
+                values = lp._fanin_values
+                old_output = lp.output_value
+                old_input = None
+                # The shared empty tuple stands in for "no emissions";
+                # every consumer only iterates it, and the lazy-match
+                # mutation path is gated on emissions being non-empty
+                # (a real list).
+                emissions = ()
+                prio = msg.prio
+                if prio == SIG or (prio == STIM and msg.src != lp.gate_index):
+                    # Signal (or stimulus copy) from a driving LP.
+                    slots = lp._src_slots[msg.src]
+                    if type(slots) is int:
+                        old_input = values[slots]
+                        values[slots] = msg.value
+                    else:
+                        old_input = values[slots[0]]
+                        value = msg.value
+                        for position in slots:
+                            values[position] = value
+                    if lp._is_comb:
+                        nv = lp._eval(values)
+                        if nv != old_output:
+                            lp.output_value = nv
+                            n_seq = lp.emission_seq
+                            lp.emission_seq = n_seq + 1
+                            t_out = msg.time + lp.delay
+                            gi = lp.gate_index
+                            sinks = lp._sink_list
+                            n_sinks = len(sinks)
+                            key_out = (t_out, SIG, gi, n_seq)
+                            if n_sinks == 1:
+                                em = msg_new(Message)
+                                em.time = t_out
+                                em.prio = SIG
+                                em.src = gi
+                                em.n = n_seq
+                                em.value = nv
+                                em.dest = sinks[0]
+                                em.uid = next_uid()
+                                em.sign = 1
+                                em.key = key_out
+                                emissions = [em]
+                            elif n_sinks == 2:
+                                em = msg_new(Message)
+                                em.time = t_out
+                                em.prio = SIG
+                                em.src = gi
+                                em.n = n_seq
+                                em.value = nv
+                                em.dest = sinks[0]
+                                em.uid = next_uid()
+                                em.sign = 1
+                                em.key = key_out
+                                em2 = msg_new(Message)
+                                em2.time = t_out
+                                em2.prio = SIG
+                                em2.src = gi
+                                em2.n = n_seq
+                                em2.value = nv
+                                em2.dest = sinks[1]
+                                em2.uid = next_uid()
+                                em2.sign = 1
+                                em2.key = key_out
+                                emissions = [em, em2]
+                            else:
+                                emissions = [
+                                    Message(t_out, SIG, gi, n_seq, nv, s, next_uid())
+                                    for s in sinks
+                                ]
+                elif prio == CAPTURE:
+                    data = values[0]
+                    if data != old_output:
+                        lp.output_value = data
+                        capture_log[(dest, msg.n)] = data
+                        n_seq = lp.emission_seq
+                        lp.emission_seq = n_seq + 1
+                        t_out = msg.time + lp.delay
+                        gi = lp.gate_index
+                        emissions = [
+                            Message(t_out, SIG, gi, n_seq, data, s, next_uid())
+                            for s in lp._sink_list
+                        ]
+                else:
+                    # Own stimulus: apply, fan the SAME key out to the sinks.
+                    value = msg.value
+                    if value != old_output:
+                        lp.output_value = value
+                        gi = lp.gate_index
+                        emissions = [
+                            Message(msg.time, STIM, gi, msg.n, value, s, next_uid())
+                            for s in lp._sink_list
+                        ]
+                record = rec_new(ProcessedRecord)
+                record.msg = msg
+                record.old_input = old_input
+                record.old_output = old_output
+                record.emissions = emissions
+                lp.processed.append(record)
+                lp.processed_uids.add(msg.uid)
+                lp.last_key = msg.key
+                # --- end inlined process ---------------------------------
+                if trace:
+                    trace("process", msg.uid, dest, msg.key)
+                events += 1
+                ns_events[node] += 1
+                history_total += 1
+                if history_total > peak_history:
+                    peak_history = history_total
+                oldest_setdefault(dest, msg.time)
+                if migrating:
+                    behind = decay_epoch - lp_activity_epoch[dest]
+                    if behind:
+                        lp_activity[dest] *= 0.5 ** behind
+                        lp_activity_epoch[dest] = decay_epoch
+                    lp_activity[dest] += 1.0
+                wall[node] += event_cost
+                busy[node] += event_cost
+                if checkpointing:
+                    since = lp._since_checkpoint + 1
+                    if since >= ckpt_interval:
+                        lp.checkpoints.append(
+                            (msg.key, list(values), lp.output_value)
+                        )
+                        lp._since_checkpoint = 0
+                        wall[node] += state_save_cost  # snapshot just taken
+                        busy[node] += state_save_cost
+                    else:
+                        lp._since_checkpoint = since
+                now = wall[node]
+                if lazy and emissions and lazy_buffers.get(dest):
+                    _lazy_match(lp, record, now)
+                    emissions = record.emissions
+                if emissions:
+                    remote_sends = 0
+                    for em in emissions:
+                        if reused_uids and em.uid in reused_uids:
+                            reused_uids.discard(em.uid)
+                            continue  # live at its destination from before the rollback
+                        dest_lp = lps[em.dest]
+                        dest_node = dest_lp.node
+                        if dest_node == node:
+                            local_messages += 1
+                            ns_local[node] += 1
+                            # insert_positive, inlined for the same-node case
+                            # (the overwhelming majority of traffic under a good
+                            # partition).
+                            if waiting_antis and em.uid in waiting_antis:
+                                del waiting_antis[em.uid]
+                                if trace:
+                                    trace("annihilate_on_arrival", em.uid)
+                                continue
+                            if em.key <= dest_lp.last_key:
+                                rollback(dest_lp, em.key, now, cancel_uid=None)
+                            # NodeQueue.push, inlined (locals bound at the pop
+                            # above; rollback never rebinds the queue's list).
+                            sk = (em.time, em.prio, em.src, em.n, em.dest, em.uid)
+                            nk = (-em.time, -em.prio, -em.src, -em.n, -em.dest, -em.uid)
+                            insort(qlist, (nk, sk, em))
+                            uid_keys[em.uid] = nk
+                            mk = proc_queue.min_key
+                            if mk is None or sk < mk:
+                                proc_queue.min_key = sk
+                                proc_queue.min_time = em.time
+                        else:
+                            flight_seq += 1
+                            arr = now + (
+                                uniform_delay
+                                if uniform_delay is not None
+                                else network.latency(node, dest_node)
+                            )
+                            heappush(in_flight, (arr, flight_seq, em))
+                            if arr < next_arrival:
+                                next_arrival = arr
+                            app_messages += 1
+                            ns_remote[node] += 1
+                            remote_sends += 1
+                    if remote_sends:
+                        wall[node] += send_overhead * remote_sends
+                        busy[node] += send_overhead * remote_sends
+                if pending_cancels:
+                    drain_cancels(wall[node])
+
+                since_gvt += 1
+                if since_gvt >= gvt_interval:
+                    since_gvt = 0
+                    # Runaway guard, amortised over the GVT interval: a
+                    # thrashing run overshoots by at most gvt_interval
+                    # events before the abort fires.
+                    if events > max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={self.max_events}; "
+                            "thrashing rollbacks or workload too large"
+                        )
+                    gvt_now = run_gvt_round()
+                    if window is not None:
+                        horizon = gvt_now + window
+                    sched_rebuild()
+                    proc_wall, node = sched_tree[1]
+                else:
+                    # sched_update(node), inlined: only this node's wall /
+                    # queue head changed during the iteration. The final
+                    # bubble value IS the new root.
+                    t = proc_queue.min_time
+                    if t is None or (horizon is not None and t > horizon):
+                        m = idle_leaves[node]
+                    else:
+                        m = (wall[node], node)
+                    k = tree_size + node
+                    sched_tree[k] = m
+                    while k > 1:
+                        k >>= 1
+                        a = sched_tree[k + k]
+                        b = sched_tree[k + k + 1]
+                        m = a if a <= b else b
+                        sched_tree[k] = m
+                    proc_wall, node = m
+        finally:
+            if gc_was_enabled:
+                gc.enable()
 
         if waiting_antis:
             raise SimulationError(
@@ -606,7 +961,14 @@ class TimeWarpSimulator:
                 "positive copies — kernel invariant broken"
             )
 
+        counters["events"] = events
+        counters["peak_history"] = peak_history
+        counters["local_messages"] = local_messages
+        counters["app_messages"] = app_messages
         for i in range(n_nodes):
+            node_stats[i].events_processed = ns_events[i]
+            node_stats[i].messages_sent_local = ns_local[i]
+            node_stats[i].messages_sent_remote = ns_remote[i]
             node_stats[i].wall_time = wall[i]
             node_stats[i].busy_time = busy[i]
             if tracer is not None:
@@ -626,7 +988,7 @@ class TimeWarpSimulator:
             num_nodes=n_nodes,
             num_cycles=stim.num_cycles,
             execution_time=max(wall),
-            events_processed=counters["events"],
+            events_processed=events,
             events_rolled_back=counters["rolled_back"],
             rollbacks=counters["rollbacks"],
             app_messages=counters["app_messages"],
@@ -634,7 +996,7 @@ class TimeWarpSimulator:
             local_messages=counters["local_messages"],
             gvt_rounds=counters["gvt_rounds"],
             lazy_reuses=counters["lazy_reuses"],
-            peak_history=counters["peak_history"],
+            peak_history=peak_history,
             migrations=counters["migrations"],
             final_values=[lp.output_value for lp in lps],
             utilization_timeline=utilization_timeline,

@@ -53,6 +53,9 @@ class TimeWarpCostModel:
         for name in (
             "event_cost",
             "rollback_event_cost",
+            "coast_event_cost",
+            "state_save_cost",
+            "migrate_lp_cost",
             "send_overhead",
             "recv_overhead",
             "gvt_cost",
@@ -61,6 +64,16 @@ class TimeWarpCostModel:
                 raise ConfigError(f"{name} must be non-negative")
         if self.event_cost <= 0:
             raise ConfigError("event_cost must be positive")
+        if self.state_save_cost >= self.event_cost:
+            # Checkpoint mode charges event_cost - state_save_cost per
+            # event; a state-save share at or above the whole event cost
+            # would make that non-positive (the kernel used to clamp it
+            # silently to 1e-9, hiding the misconfiguration).
+            raise ConfigError(
+                f"state_save_cost ({self.state_save_cost}) must be smaller "
+                f"than event_cost ({self.event_cost}); it is the share of "
+                "event_cost attributable to state saving"
+            )
 
 
 @dataclass

@@ -18,7 +18,7 @@ class Message:
     physical copy for annihilation matching.
     """
 
-    __slots__ = ("time", "prio", "src", "n", "value", "dest", "uid", "sign")
+    __slots__ = ("time", "prio", "src", "n", "value", "dest", "uid", "sign", "key")
 
     def __init__(
         self,
@@ -39,10 +39,9 @@ class Message:
         self.dest = dest
         self.uid = uid
         self.sign = sign
-
-    @property
-    def key(self) -> EventKey:
-        return (self.time, self.prio, self.src, self.n)
+        #: The deterministic event key, precomputed: the kernels read it
+        #: several times per message (straggler checks, history keys).
+        self.key: EventKey = (time, prio, src, n)
 
     @property
     def sort_key(self) -> tuple[int, int, int, int, int, int]:

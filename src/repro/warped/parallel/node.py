@@ -210,11 +210,11 @@ class NodeEngine:
 
     def min_pending(self) -> int | None:
         """Virtual time of the earliest pending event (None = idle)."""
-        return self.queue.min_time()
+        return self.queue.min_time
 
     def processable(self, gvt: float) -> bool:
         """True iff the next pending event is inside the optimism window."""
-        t = self.queue.min_time()
+        t = self.queue.min_time
         if t is None:
             return False
         return self.window is None or t <= gvt + self.window

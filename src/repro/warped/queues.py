@@ -2,91 +2,138 @@
 
 A node holds ONE queue over all its LPs (the clustered organisation of
 WARPED: LPs of a cluster share a scheduler). The queue orders messages
-by the deterministic event key and supports lazy deletion by ``uid``,
-which is how an anti-message annihilates an unprocessed positive copy.
+by the deterministic event key and supports deletion by ``uid``, which
+is how an anti-message annihilates an unprocessed positive copy.
+
+Representation: a list sorted DESCENDING by sort key, so the earliest
+live message sits at the END — ``pop`` is ``list.pop()`` (O(1)) and
+insertion is a C-level :func:`bisect.insort` (binary search plus one
+memmove), which beats a binary heap for the queue sizes logic
+simulation produces and needs no lazy-deletion filtering: ``annihilate``
+locates its entry exactly via the uid → key map and removes it.
+
+The descending order is realised by storing each entry as
+``(neg_key, sort_key, message)`` where ``neg_key`` negates every
+element of the sort key: elementwise negation reverses the
+lexicographic order of equal-length int tuples, so an ascending sort on
+``neg_key`` is a descending sort on ``sort_key``. ``neg_key`` is unique
+(the uid component is), so list comparisons never reach the message.
+
+The head of the queue is cached: ``min_key``/``min_time`` are plain
+attributes kept current by every mutator, so the executive's per-event
+scheduling scan costs one attribute read per node.
 """
 
 from __future__ import annotations
 
-import heapq
+from bisect import bisect_left, insort
 
 from repro.warped.messages import Message
 
+SortKey = tuple[int, int, int, int, int, int]
+
+#: One stored entry: (negated sort key, sort key, message).
+Entry = tuple[SortKey, SortKey, Message]
+
 
 class NodeQueue:
-    """Min-heap of :class:`Message` with O(1) uid membership/deletion."""
+    """Descending-sorted list of :class:`Message` with O(1) min-pop."""
+
+    __slots__ = ("_list", "_uid_keys", "min_key", "min_time")
 
     def __init__(self) -> None:
-        self._heap: list[tuple[tuple[int, int, int, int, int, int], Message]] = []
-        self._pending_uids: set[int] = set()
-        self._dead_uids: set[int] = set()
+        self._list: list[Entry] = []
+        #: uid -> negated sort key of the live entry carrying it.
+        self._uid_keys: dict[int, SortKey] = {}
+        #: Sort key / virtual time of the earliest live message, or
+        #: ``None`` when empty. Read-only for callers.
+        self.min_key: SortKey | None = None
+        self.min_time: int | None = None
 
     def push(self, msg: Message) -> None:
         """Insert *msg*."""
-        heapq.heappush(self._heap, (msg.sort_key, msg))
-        self._pending_uids.add(msg.uid)
+        sort_key = (msg.time, msg.prio, msg.src, msg.n, msg.dest, msg.uid)
+        neg_key = (-msg.time, -msg.prio, -msg.src, -msg.n, -msg.dest, -msg.uid)
+        insort(self._list, (neg_key, sort_key, msg))
+        self._uid_keys[msg.uid] = neg_key
+        min_key = self.min_key
+        if min_key is None or sort_key < min_key:
+            self.min_key = sort_key
+            self.min_time = msg.time
 
     def pop(self) -> Message:
         """Remove and return the earliest live message."""
-        while self._heap:
-            _, msg = heapq.heappop(self._heap)
-            if msg.uid in self._dead_uids:
-                self._dead_uids.discard(msg.uid)
-                continue
-            self._pending_uids.discard(msg.uid)
-            return msg
-        raise IndexError("pop from empty NodeQueue")
+        lst = self._list
+        if not lst:
+            raise IndexError("pop from empty NodeQueue")
+        _, _, msg = lst.pop()
+        del self._uid_keys[msg.uid]
+        if lst:
+            head = lst[-1]
+            self.min_key = head[1]
+            self.min_time = head[1][0]
+        else:
+            self.min_key = None
+            self.min_time = None
+        return msg
 
     def contains_uid(self, uid: int) -> bool:
         """True iff a live message with *uid* is pending."""
-        return uid in self._pending_uids
+        return uid in self._uid_keys
 
     def annihilate(self, uid: int) -> None:
         """Delete the pending message with *uid* (must be present)."""
-        if uid not in self._pending_uids:
+        neg_key = self._uid_keys.pop(uid, None)
+        if neg_key is None:
             raise KeyError(f"uid {uid} not pending")
-        self._pending_uids.discard(uid)
-        self._dead_uids.add(uid)
+        lst = self._list
+        # A 1-tuple probe compares by first element only and sorts
+        # before the (longer) entry carrying an equal first element, so
+        # bisect_left lands exactly on the target entry.
+        lo = bisect_left(lst, (neg_key,))
+        del lst[lo]
+        if lo == len(lst):
+            # Removed the head (end of the descending list).
+            if lst:
+                head = lst[-1]
+                self.min_key = head[1]
+                self.min_time = head[1][0]
+            else:
+                self.min_key = None
+                self.min_time = None
 
-    def peek_key(self) -> tuple[int, int, int, int, int, int] | None:
+    def peek_key(self) -> SortKey | None:
         """Sort key of the earliest live message, or ``None``."""
-        while self._heap:
-            sort_key, msg = self._heap[0]
-            if msg.uid in self._dead_uids:
-                heapq.heappop(self._heap)
-                self._dead_uids.discard(msg.uid)
-                continue
-            return sort_key
-        return None
-
-    def min_time(self) -> int | None:
-        """Virtual time of the earliest pending message (for GVT)."""
-        key = self.peek_key()
-        return key[0] if key is not None else None
+        return self.min_key
 
     def extract_dests(self, dests: set[int]) -> list[Message]:
         """Remove and return all pending messages addressed to *dests*.
 
         Used by LP migration: the moved LP's queued work follows it to
-        its new node. Lazily-deleted entries are dropped on the way.
+        its new node.
         """
-        kept: list[tuple[tuple[int, int, int, int, int, int], Message]] = []
+        kept: list[Entry] = []
         moved: list[Message] = []
-        for sort_key, msg in self._heap:
-            if msg.uid in self._dead_uids:
-                self._dead_uids.discard(msg.uid)
-                continue
+        uid_keys = self._uid_keys
+        for entry in self._list:
+            msg = entry[2]
             if msg.dest in dests:
                 moved.append(msg)
-                self._pending_uids.discard(msg.uid)
+                del uid_keys[msg.uid]
             else:
-                kept.append((sort_key, msg))
-        heapq.heapify(kept)
-        self._heap = kept
+                kept.append(entry)
+        self._list = kept
+        if kept:
+            head = kept[-1]
+            self.min_key = head[1]
+            self.min_time = head[1][0]
+        else:
+            self.min_key = None
+            self.min_time = None
         return moved
 
     def __len__(self) -> int:
-        return len(self._pending_uids)
+        return len(self._list)
 
     def __bool__(self) -> bool:
-        return bool(self._pending_uids)
+        return bool(self._list)

@@ -1,0 +1,15 @@
+"""Frozen pre-optimization (seed) Time Warp implementation.
+
+``seed_kernel``/``seed_lp``/``seed_queues`` are byte-for-byte copies of
+``repro.warped.{kernel,lp,queues}`` as they stood before the hot-path
+performance overhaul (PR 3), with only the intra-package imports
+rewritten. They are the behavioral oracle for
+``tests/test_seed_equivalence.py``: every optimization must leave
+``TimeWarpResult`` counters, final values and committed captures
+bit-identical to this snapshot (the one documented exception is
+``peak_history``, whose undercounting between GVT rounds was a bug the
+same PR fixes).
+
+Do NOT "clean up" or optimize these files — their value is that they
+never change.
+"""

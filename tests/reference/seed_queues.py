@@ -1,0 +1,92 @@
+"""Per-node pending-event queue with annihilation support.
+
+A node holds ONE queue over all its LPs (the clustered organisation of
+WARPED: LPs of a cluster share a scheduler). The queue orders messages
+by the deterministic event key and supports lazy deletion by ``uid``,
+which is how an anti-message annihilates an unprocessed positive copy.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.warped.messages import Message
+
+
+class NodeQueue:
+    """Min-heap of :class:`Message` with O(1) uid membership/deletion."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[tuple[int, int, int, int, int, int], Message]] = []
+        self._pending_uids: set[int] = set()
+        self._dead_uids: set[int] = set()
+
+    def push(self, msg: Message) -> None:
+        """Insert *msg*."""
+        heapq.heappush(self._heap, (msg.sort_key, msg))
+        self._pending_uids.add(msg.uid)
+
+    def pop(self) -> Message:
+        """Remove and return the earliest live message."""
+        while self._heap:
+            _, msg = heapq.heappop(self._heap)
+            if msg.uid in self._dead_uids:
+                self._dead_uids.discard(msg.uid)
+                continue
+            self._pending_uids.discard(msg.uid)
+            return msg
+        raise IndexError("pop from empty NodeQueue")
+
+    def contains_uid(self, uid: int) -> bool:
+        """True iff a live message with *uid* is pending."""
+        return uid in self._pending_uids
+
+    def annihilate(self, uid: int) -> None:
+        """Delete the pending message with *uid* (must be present)."""
+        if uid not in self._pending_uids:
+            raise KeyError(f"uid {uid} not pending")
+        self._pending_uids.discard(uid)
+        self._dead_uids.add(uid)
+
+    def peek_key(self) -> tuple[int, int, int, int, int, int] | None:
+        """Sort key of the earliest live message, or ``None``."""
+        while self._heap:
+            sort_key, msg = self._heap[0]
+            if msg.uid in self._dead_uids:
+                heapq.heappop(self._heap)
+                self._dead_uids.discard(msg.uid)
+                continue
+            return sort_key
+        return None
+
+    def min_time(self) -> int | None:
+        """Virtual time of the earliest pending message (for GVT)."""
+        key = self.peek_key()
+        return key[0] if key is not None else None
+
+    def extract_dests(self, dests: set[int]) -> list[Message]:
+        """Remove and return all pending messages addressed to *dests*.
+
+        Used by LP migration: the moved LP's queued work follows it to
+        its new node. Lazily-deleted entries are dropped on the way.
+        """
+        kept: list[tuple[tuple[int, int, int, int, int, int], Message]] = []
+        moved: list[Message] = []
+        for sort_key, msg in self._heap:
+            if msg.uid in self._dead_uids:
+                self._dead_uids.discard(msg.uid)
+                continue
+            if msg.dest in dests:
+                moved.append(msg)
+                self._pending_uids.discard(msg.uid)
+            else:
+                kept.append((sort_key, msg))
+        heapq.heapify(kept)
+        self._heap = kept
+        return moved
+
+    def __len__(self) -> int:
+        return len(self._pending_uids)
+
+    def __bool__(self) -> bool:
+        return bool(self._pending_uids)

@@ -1,0 +1,134 @@
+"""Unit tests for the benchmark-regression harness.
+
+The measurement side (``benchmarks/bench_hotpath.py``) is exercised on
+the one workload cheap enough for the default suite; the trajectory and
+comparison logic of ``tools/bench_runner.py`` is pure and tested
+directly.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _load(name: str, path: Path):
+    module = sys.modules.get(name)
+    if module is None:
+        spec = importlib.util.spec_from_file_location(name, path)
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[name] = module
+        spec.loader.exec_module(module)
+    return module
+
+
+bench_runner = _load("bench_runner", REPO_ROOT / "tools" / "bench_runner.py")
+bench_hotpath = _load(
+    "bench_hotpath", REPO_ROOT / "benchmarks" / "bench_hotpath.py"
+)
+
+
+def _entry(rates: dict[str, dict[str, float]]) -> dict:
+    return {
+        "schema": 1,
+        "workloads": {
+            workload: {
+                engine: {"events": 100, "events_per_sec": rate}
+                for engine, rate in engines.items()
+            }
+            for workload, engines in rates.items()
+        },
+    }
+
+
+class TestCompareRuns:
+    def test_clean_when_no_loss(self):
+        baseline = _entry({"w": {"timewarp": 1000.0}})
+        current = _entry({"w": {"timewarp": 990.0}})
+        assert bench_runner.compare_runs(baseline, current, 0.20) == []
+
+    def test_loss_within_threshold_passes(self):
+        baseline = _entry({"w": {"timewarp": 1000.0}})
+        current = _entry({"w": {"timewarp": 801.0}})
+        assert bench_runner.compare_runs(baseline, current, 0.20) == []
+
+    def test_loss_beyond_threshold_fails(self):
+        baseline = _entry({"w": {"timewarp": 1000.0}})
+        current = _entry({"w": {"timewarp": 799.0}})
+        failures = bench_runner.compare_runs(baseline, current, 0.20)
+        assert len(failures) == 1
+        assert "w/timewarp" in failures[0]
+
+    def test_new_pairs_pass_vacuously(self):
+        baseline = _entry({"w": {"timewarp": 1000.0}})
+        current = _entry(
+            {"w": {"timewarp": 1000.0, "process": 1.0}, "new": {"seq": 1.0}}
+        )
+        assert bench_runner.compare_runs(baseline, current, 0.20) == []
+
+    def test_only_current_pairs_checked(self):
+        # A workload dropped from the current run cannot fail the gate
+        # (the gate guards what ran, the schema guards coverage).
+        baseline = _entry({"w": {"timewarp": 1000.0}, "old": {"seq": 9e9}})
+        current = _entry({"w": {"timewarp": 1000.0}})
+        assert bench_runner.compare_runs(baseline, current, 0.20) == []
+
+
+class TestTrajectory:
+    def test_numbering_starts_at_one(self, tmp_path):
+        assert bench_runner.next_bench_path(tmp_path).name == "BENCH_1.json"
+
+    def test_numbering_is_monotone_and_gap_tolerant(self, tmp_path):
+        (tmp_path / "BENCH_1.json").write_text("{}")
+        (tmp_path / "BENCH_7.json").write_text("{}")
+        (tmp_path / "BENCH_other.json").write_text("{}")  # not an entry
+        entries = bench_runner.trajectory(tmp_path)
+        assert [n for n, _ in entries] == [1, 7]
+        assert bench_runner.next_bench_path(tmp_path).name == "BENCH_8.json"
+
+    def test_repo_has_a_committed_first_entry(self):
+        entries = bench_runner.trajectory(REPO_ROOT)
+        assert entries and entries[0][0] == 1, "BENCH_1.json must exist"
+        payload = json.loads(entries[0][1].read_text())
+        assert payload["schema"] == bench_runner.SCHEMA_VERSION
+        cell = payload["workloads"]["s9234-table2-8"]["timewarp"]
+        assert cell["events"] == 24846  # the pinned acceptance cell
+        assert cell["peak_history"] == 942
+
+
+class TestWorkloads:
+    def test_registry_covers_ci_and_acceptance(self):
+        assert {"s27", "synthetic-s5378", "s9234-table2-8"} <= set(
+            bench_hotpath.WORKLOADS
+        )
+        for workload in bench_hotpath.WORKLOADS.values():
+            unknown = set(workload.engines) - set(bench_hotpath.ENGINES)
+            assert not unknown, f"{workload.name}: {unknown}"
+
+    def test_s27_measurement_is_pinned(self):
+        # The real end-to-end path, minus the process backend (which
+        # spawns OS processes — covered by the CI bench job instead).
+        workload = bench_hotpath.WORKLOADS["s27"]
+        world = bench_hotpath.build_world(workload)
+        sequential = bench_hotpath.run_engine("sequential", workload, world)
+        timewarp = bench_hotpath.run_engine("timewarp", workload, world)
+        again = bench_hotpath.run_engine("timewarp", workload, world)
+        assert sequential["peak_history"] is None
+        assert sequential["events"] > 0
+        assert timewarp["events"] == again["events"]  # deterministic
+        assert timewarp["peak_history"] == again["peak_history"]
+        for record in (sequential, timewarp):
+            assert record["events_per_sec"] > 0
+            assert record["elapsed_sec"] > 0
+
+    def test_unknown_engine_rejected(self):
+        workload = bench_hotpath.WORKLOADS["s27"]
+        world = bench_hotpath.build_world(workload)
+        with pytest.raises(ValueError, match="unknown engine"):
+            bench_hotpath.run_engine("quantum", workload, world)

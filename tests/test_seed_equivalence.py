@@ -1,0 +1,101 @@
+"""Differential equivalence: the optimized kernel vs the frozen seed.
+
+The hot-path overhaul (ISSUE 3) rewrote the virtual Time Warp
+executive's inner loop — queue representation, scheduling, inlined
+event processing, fossil collection. ``tests/reference`` holds the
+pre-optimization implementation verbatim; this suite replays the fuzz
+corpus through BOTH kernels under every cancellation x state-saving
+policy combination and requires bit-identical results.
+
+``peak_history`` is the one documented exception: the seed sampled it
+only at GVT rounds, undercounting the true between-round high-water
+mark (an ISSUE 3 satellite bugfix) — the optimized kernel tracks it
+incrementally, so its value may only be larger.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+import pytest
+
+from repro.circuit import GeneratorSpec, generate_circuit
+from repro.harness.regression import load_case
+from repro.partition.registry import get_partitioner
+from repro.sim import RandomStimulus
+from repro.warped import TimeWarpSimulator, VirtualMachine
+from tests.reference.seed_kernel import TimeWarpSimulator as SeedSimulator
+
+CORPUS = sorted((Path(__file__).parent / "corpus").glob("*.json"))
+
+#: cancellation x state saving: incremental (None) and periodic
+#: checkpointing with a small interval so coast-forward actually runs.
+POLICIES = [
+    pytest.param("aggressive", None, id="aggressive-incremental"),
+    pytest.param("aggressive", 4, id="aggressive-checkpoint"),
+    pytest.param("lazy", None, id="lazy-incremental"),
+    pytest.param("lazy", 4, id="lazy-checkpoint"),
+]
+
+#: Every TimeWarpResult field that must match exactly. peak_history is
+#: deliberately absent (see module docstring); final_values,
+#: committed_captures and node_stats are compared separately.
+COMPARED_FIELDS = (
+    "events_processed",
+    "events_rolled_back",
+    "rollbacks",
+    "app_messages",
+    "anti_messages",
+    "local_messages",
+    "gvt_rounds",
+    "lazy_reuses",
+    "migrations",
+    "execution_time",
+)
+
+#: World construction (generate + partition) is deterministic and far
+#: slower than the runs themselves; share it across the policy matrix.
+_WORLDS: dict[str, tuple] = {}
+
+
+def _world(path: Path) -> tuple:
+    world = _WORLDS.get(path.stem)
+    if world is None:
+        case = load_case(path)
+        circuit = generate_circuit(GeneratorSpec(**case["spec"]))
+        stimulus = RandomStimulus(circuit, **case["stimulus"])
+        assignment = get_partitioner(
+            case["partitioner"], seed=case.get("partitioner_seed", 0)
+        ).partition(circuit, case["k"])
+        world = (case, circuit, stimulus, assignment)
+        _WORLDS[path.stem] = world
+    return world
+
+
+@pytest.mark.parametrize(("cancellation", "checkpoint"), POLICIES)
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_optimized_kernel_matches_seed(path, cancellation, checkpoint):
+    case, circuit, stimulus, assignment = _world(path)
+    machine_kwargs = dict(case.get("machine", {}))
+    machine_kwargs["cancellation"] = cancellation
+    machine_kwargs["checkpoint_interval"] = checkpoint
+
+    def run(simulator_cls):
+        machine = VirtualMachine(num_nodes=case["k"], **machine_kwargs)
+        return simulator_cls(circuit, assignment, stimulus, machine).run()
+
+    seed = run(SeedSimulator)
+    new = run(TimeWarpSimulator)
+
+    for name in COMPARED_FIELDS:
+        assert getattr(new, name) == getattr(seed, name), (
+            f"{name}: seed={getattr(seed, name)} new={getattr(new, name)}"
+        )
+    assert new.final_values == seed.final_values
+    assert new.committed_captures == seed.committed_captures
+    assert len(new.node_stats) == len(seed.node_stats)
+    for seed_stat, new_stat in zip(seed.node_stats, new.node_stats):
+        assert dataclasses.asdict(new_stat) == dataclasses.asdict(seed_stat)
+    # The seed's GVT-round sampling can only ever UNDER-count the peak.
+    assert new.peak_history >= seed.peak_history

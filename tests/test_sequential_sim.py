@@ -171,3 +171,59 @@ class TestCostAndGuards:
         assert changes, "output should change at least once in 15 cycles"
         assert changes == sorted(changes, key=lambda tv: tv[0])
         assert changes[-1][1] == r.final_values[g17]
+
+
+class TestEventQueue:
+    """The strict ``remove`` contract (mirrors NodeQueue.annihilate)."""
+
+    @staticmethod
+    def _event(time, src=0):
+        from repro.sim.event import SIG, Event
+
+        return Event(time, SIG, src, 0, 1)
+
+    def test_remove_unknown_key_raises(self):
+        from repro.sim.event_queue import EventQueue
+
+        q = EventQueue()
+        q.push(self._event(5))
+        with pytest.raises(KeyError):
+            q.remove(self._event(7).key)  # never pushed
+        assert len(q) == 1  # live count untouched by the failed remove
+
+    def test_remove_twice_raises(self):
+        from repro.sim.event_queue import EventQueue
+
+        q = EventQueue()
+        event = self._event(5)
+        q.push(event)
+        q.remove(event.key)
+        assert len(q) == 0 and not q
+        # Regression: double-remove used to silently drive the live
+        # count negative, making __len__ and __bool__ disagree.
+        with pytest.raises(KeyError):
+            q.remove(event.key)
+        assert len(q) == 0
+
+    def test_remove_popped_key_raises(self):
+        from repro.sim.event_queue import EventQueue
+
+        q = EventQueue()
+        event = self._event(5)
+        q.push(event)
+        assert q.pop() is event
+        with pytest.raises(KeyError):
+            q.remove(event.key)
+
+    def test_push_revives_removed_key(self):
+        from repro.sim.event_queue import EventQueue
+
+        q = EventQueue()
+        q.push(self._event(5))
+        q.remove(self._event(5).key)
+        revived = self._event(5)
+        q.push(revived)  # fresh emission with the annihilated key
+        assert len(q) == 1
+        assert q.pop() is revived
+        with pytest.raises(IndexError):
+            q.pop()

@@ -197,6 +197,26 @@ class TestConfiguration:
             TimeWarpCostModel(event_cost=0.0)
         with pytest.raises(ConfigError):
             TimeWarpCostModel(rollback_event_cost=-1.0)
+        # Regression: these three used to slip through unvalidated.
+        with pytest.raises(ConfigError):
+            TimeWarpCostModel(coast_event_cost=-1e-6)
+        with pytest.raises(ConfigError):
+            TimeWarpCostModel(state_save_cost=-1e-6)
+        with pytest.raises(ConfigError):
+            TimeWarpCostModel(migrate_lp_cost=-1e-6)
+
+    def test_cost_model_state_save_share_bounded(self):
+        # state_save_cost is the share of event_cost spent on state
+        # saving; at or above the whole event cost the checkpoint-mode
+        # per-event charge would go non-positive (the kernel used to
+        # clamp it silently).
+        with pytest.raises(ConfigError, match="state_save_cost"):
+            TimeWarpCostModel(event_cost=100e-6, state_save_cost=100e-6)
+        with pytest.raises(ConfigError, match="state_save_cost"):
+            TimeWarpCostModel(event_cost=100e-6, state_save_cost=150e-6)
+        # Strictly smaller is fine, including zero.
+        TimeWarpCostModel(event_cost=100e-6, state_save_cost=99e-6)
+        TimeWarpCostModel(state_save_cost=0.0)
 
     def test_network_models(self):
         net = UniformNetwork(1e-4)

@@ -85,6 +85,25 @@ class TestPeakHistory:
         assert frequent.peak_history <= rare.peak_history
         assert frequent.final_values == rare.final_values
 
+    def test_peak_tracked_between_gvt_rounds(self, medium_circuit):
+        # Regression (ISSUE 3 satellite): the peak used to be sampled
+        # only inside run_gvt_round, so a run whose gvt_interval
+        # exceeds its event count reported zero. On a single node no
+        # event ever rolls back and no fossil sweep fires before
+        # quiescence, so the true high-water mark is exactly the full
+        # history — which only incremental tracking can see.
+        stim = RandomStimulus(medium_circuit, num_cycles=10, seed=2)
+        assignment = get_partitioner("Random", seed=1).partition(
+            medium_circuit, 1
+        )
+        result = TimeWarpSimulator(
+            medium_circuit, assignment, stim,
+            VirtualMachine(num_nodes=1, gvt_interval=10**9),
+        ).run()
+        assert result.rollbacks == 0
+        assert result.gvt_rounds == 0
+        assert result.peak_history == result.events_processed
+
 
 class TestWorkBalancing:
     def test_vertex_weights_rebalance_load(self, medium_circuit):

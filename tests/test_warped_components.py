@@ -213,7 +213,7 @@ class TestNodeQueue:
         q.push(self.entry(1, 1))
         q.push(self.entry(5, 2))
         q.annihilate(1)
-        assert q.min_time() == 5
+        assert q.min_time == 5
 
     def test_empty_pop_raises(self):
         with pytest.raises(IndexError):
