@@ -36,6 +36,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="record a JSONL trace of every Time Warp run "
                         "(rollbacks, GVT rounds, queue depths); summarize "
                         "with tools/trace_report.py")
+    parser.add_argument("--analyze", action="store_true",
+                        help="after the run(s), print the trace forensics "
+                        "report (rollback cascades, committed timelines, "
+                        "wall-time attribution); requires --trace")
+    parser.add_argument("--live-status", default=None, metavar="PATH",
+                        dest="live_status",
+                        help="process backend: write per-node live-status "
+                        "snapshots to PATH.node<i> every GVT round (watch "
+                        "with tools/tw_top.py)")
     parser.add_argument("--metrics", action="store_true",
                         help="collect harness metrics and print them at exit")
 
@@ -50,6 +59,8 @@ def _runner(args: argparse.Namespace) -> ExperimentRunner:
         overrides["backend"] = args.backend
     if getattr(args, "trace", None) is not None:
         overrides["trace_path"] = args.trace
+    if getattr(args, "live_status", None) is not None:
+        overrides["status_path"] = args.live_status
     if getattr(args, "metrics", False):
         overrides["metrics_enabled"] = True
     config = ExperimentConfig.from_env(**overrides)
@@ -106,6 +117,8 @@ def main(argv: list[str] | None = None) -> int:
 
     args = parser.parse_args(argv)
     runner = _runner(args)
+    if getattr(args, "analyze", False) and runner.config.trace_path is None:
+        parser.error("--analyze requires --trace (there is no trace to read)")
 
     if args.command == "table1":
         from repro.harness.table1 import generate_table1
@@ -196,6 +209,31 @@ def main(argv: list[str] | None = None) -> int:
     if runner.trace_files:
         noun = "file" if len(runner.trace_files) == 1 else "files"
         print(f"trace {noun}: {', '.join(runner.trace_files)}")
+    if getattr(args, "analyze", False) and runner.trace_files:
+        from repro.obs import analyze_trace, render_analysis
+        from repro.obs.tracer import read_trace
+
+        # The run subcommand knows which circuit/partition produced the
+        # trace, unlocking the critical-path estimate; sweep commands
+        # interleave many configurations, so they get trace-only
+        # forensics.
+        circuit = assignment = cost_model = None
+        if args.command == "run" and args.kernel == "timewarp":
+            circuit = runner.circuit(args.circuit)
+            assignment = runner.partition(
+                args.circuit, args.algorithm, args.nodes
+            )
+            if runner.config.backend == "virtual":
+                cost_model = runner.config.tw_costs
+        for path in runner.trace_files:
+            print()
+            print(render_analysis(
+                analyze_trace(
+                    read_trace(path), circuit=circuit,
+                    assignment=assignment, cost_model=cost_model,
+                ),
+                title=path,
+            ))
     if runner.config.metrics_enabled:
         print(runner.metrics.render())
     return 0

@@ -11,6 +11,8 @@ circuits (DESIGN.md §5). Environment overrides:
   instead of the modelled virtual machine;
 - ``REPRO_TRACE=path.jsonl`` — record a JSONL trace of every run
   (rollbacks, GVT rounds, queue depths; see :mod:`repro.obs`);
+- ``REPRO_STATUS=path`` — live per-node status snapshots (process
+  backend; ``tools/tw_top.py`` tails them);
 - ``REPRO_METRICS=1`` — collect and print harness-level metrics.
 """
 
@@ -72,6 +74,10 @@ class ExperimentConfig:
     #: harness executes appends a distinct file derived from this base
     #: (first run gets the exact path; see ExperimentRunner.trace_path).
     trace_path: str | None = None
+    #: Live-status base path (process backend only): workers refresh
+    #: per-node JSON snapshots ``<base>.node<i>`` every GVT round for
+    #: ``tools/tw_top.py`` to tail.  None disables the snapshots.
+    status_path: str | None = None
     #: Collect counters/timers in the harness (printed by the CLI).
     metrics_enabled: bool = False
     tw_costs: TimeWarpCostModel = field(default_factory=TimeWarpCostModel)
@@ -113,6 +119,8 @@ class ExperimentConfig:
             overrides.setdefault("backend", os.environ["REPRO_BACKEND"])
         if "REPRO_TRACE" in os.environ:
             overrides.setdefault("trace_path", os.environ["REPRO_TRACE"])
+        if "REPRO_STATUS" in os.environ:
+            overrides.setdefault("status_path", os.environ["REPRO_STATUS"])
         if os.environ.get("REPRO_METRICS") == "1":
             overrides.setdefault("metrics_enabled", True)
         return cls(**overrides)

@@ -182,7 +182,9 @@ class ExperimentRunner:
             with self.metrics.time("timewarp_run_seconds"):
                 if self.config.backend == "process":
                     result = ProcessTimeWarpSimulator(
-                        *quad, trace_path=trace_path
+                        *quad,
+                        trace_path=trace_path,
+                        status_path=self.config.status_path,
                     ).run()
                 elif trace_path is not None:
                     with TraceWriter(trace_path) as tracer:

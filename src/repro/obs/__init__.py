@@ -15,9 +15,20 @@ Warp).  It has two halves:
 
 :mod:`repro.obs.report` summarizes merged traces (distributions,
 per-node breakdowns) for ``tools/trace_report.py`` and the benchmark
-suite.
+suite.  :mod:`repro.obs.causality` reconstructs rollback cascades from
+the enriched records, and :mod:`repro.obs.analyze` builds the full
+forensics bundle (cascade forensics, committed timelines, critical
+path, wall-time attribution) plus the per-partitioner scorecard behind
+``tools/partition_report.py``.
 """
 
+from repro.obs.analyze import (
+    analyze_trace,
+    render_analysis,
+    render_scorecard,
+    scorecard_row,
+)
+from repro.obs.causality import Cascade, RollbackEvent, build_cascades
 from repro.obs.metrics import Metrics, summarize
 from repro.obs.report import render_trace_summary, summarize_trace
 from repro.obs.tracer import (
@@ -28,11 +39,18 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "Cascade",
     "Metrics",
+    "RollbackEvent",
     "TraceWriter",
+    "analyze_trace",
+    "build_cascades",
     "merge_shards",
     "read_trace",
+    "render_analysis",
+    "render_scorecard",
     "render_trace_summary",
+    "scorecard_row",
     "shard_path",
     "summarize",
     "summarize_trace",

@@ -1,0 +1,197 @@
+"""Rollback-cascade reconstruction over enriched trace records.
+
+Both Time Warp engines stamp every ``rollback`` record with its cause
+(the straggler or anti-message that triggered it) and with the uids of
+the sends the rollback undid (``antis`` — the cancellation obligations
+it created).  Those two fields make the rollback history a forest:
+
+- a rollback whose cause is an **anti-message** was triggered by the
+  cancellation of a positive some *earlier* rollback undid, so its
+  parent is the rollback whose ``antis`` list contains the cause uid;
+- a rollback whose cause is a **straggler** (a positive arriving in
+  the LP's past) starts a fresh cascade — it is a root.
+
+:func:`build_cascades` reconstructs that forest and aggregates per
+cascade: how deep the chain ran, how wide it fanned out, how many
+committed-work events it wasted, and which partition-boundary edges it
+crossed.  The accounting is exact, not sampled — the sum of wasted
+events over all cascades equals the kernel's ``rolled_back`` counter
+(``tools/partition_report.py`` and the analyze tests assert this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RollbackEvent:
+    """One parsed ``rollback`` trace record, plus its cascade links."""
+
+    node: int
+    rid: int
+    lp: int
+    depth: int          # events undone by this rollback
+    t: int              # virtual time rolled back to
+    ts: float           # wall-clock (epoch-relative) emission time
+    seq: int            # per-writer emission order (ts tie-break)
+    cause_kind: str     # "straggler" | "anti" | "" (unknown/legacy)
+    cause_uid: int | None
+    cause_src: int | None   # gate that emitted the triggering message
+    cause_node: int | None  # node hosting that gate at send time
+    cause_t: int | None     # virtual time of the triggering message
+    antis: tuple[int, ...]  # uids of the sends this rollback undid
+    parent: "RollbackEvent | None" = None
+    children: "list[RollbackEvent]" = field(default_factory=list)
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """(node, rid) — unique per writer, readable in reports."""
+        return (self.node, self.rid)
+
+    @property
+    def order(self) -> tuple[float, int, int]:
+        """Global happened-at order (wall time, node, writer seq)."""
+        return (self.ts, self.node, self.seq)
+
+    @property
+    def remote_cause(self) -> bool:
+        """True when the triggering message crossed a partition boundary."""
+        return self.cause_node is not None and self.cause_node != self.node
+
+
+def extract_rollbacks(records: list[dict]) -> list[RollbackEvent]:
+    """Parse every ``rollback`` record of a trace, in merged order."""
+    rollbacks = []
+    for record in records:
+        if record.get("kind") != "rollback":
+            continue
+        rollbacks.append(
+            RollbackEvent(
+                node=int(record.get("node", -1)),
+                rid=int(record.get("rid", len(rollbacks) + 1)),
+                lp=int(record["lp"]),
+                depth=int(record.get("depth", 0)),
+                t=int(record.get("t", 0)),
+                ts=float(record.get("ts", 0.0)),
+                seq=int(record.get("seq", len(rollbacks))),
+                cause_kind=str(record.get("cause_kind", "") or ""),
+                cause_uid=record.get("cause_uid"),
+                cause_src=record.get("cause_src"),
+                cause_node=record.get("cause_node"),
+                cause_t=record.get("cause_t"),
+                antis=tuple(record.get("antis", ())),
+            )
+        )
+    return rollbacks
+
+
+@dataclass
+class Cascade:
+    """One rollback tree: a root straggler and everything it triggered."""
+
+    root: RollbackEvent
+    members: list[RollbackEvent]
+
+    @property
+    def wasted(self) -> int:
+        """Total events undone across the cascade (the real cost)."""
+        return sum(member.depth for member in self.members)
+
+    @property
+    def width(self) -> int:
+        """Number of rollback episodes in the cascade."""
+        return len(self.members)
+
+    @property
+    def chain_depth(self) -> int:
+        """Longest root-to-leaf chain of causally linked rollbacks."""
+        depth_of: dict[tuple[int, int], int] = {}
+        best = 0
+        # Members are stored parents-before-children (see build_cascades).
+        for member in self.members:
+            parent_depth = (
+                depth_of[member.parent.key] if member.parent is not None
+                and member.parent.key in depth_of else 0
+            )
+            depth_of[member.key] = parent_depth + 1
+            best = max(best, parent_depth + 1)
+        return best
+
+    @property
+    def nodes(self) -> tuple[int, ...]:
+        """Nodes the cascade touched, sorted."""
+        return tuple(sorted({member.node for member in self.members}))
+
+    def boundary_edges(self) -> dict[tuple[int, int], int]:
+        """(src gate, victim LP) pairs whose message crossed nodes.
+
+        Counts, per cascade member triggered from a *remote* sender,
+        the cut edge the triggering message travelled — the partition
+        boundaries this cascade burned time on.
+        """
+        edges: dict[tuple[int, int], int] = {}
+        for member in self.members:
+            if member.remote_cause and member.cause_src is not None:
+                edge = (int(member.cause_src), member.lp)
+                edges[edge] = edges.get(edge, 0) + 1
+        return edges
+
+
+def link_rollbacks(rollbacks: list[RollbackEvent]) -> None:
+    """Resolve every rollback's ``parent`` link in place.
+
+    A rollback caused by an anti-message links to the **latest**
+    rollback (in global ``order``) that undid the cause uid and
+    happened before it — "latest" matters under lazy cancellation,
+    where a reused send can be undone more than once.  Unresolvable
+    causes (straggler roots, missing uids) leave ``parent = None``.
+    """
+    undone_by: dict[int, list[RollbackEvent]] = {}
+    for rollback in rollbacks:
+        for uid in rollback.antis:
+            undone_by.setdefault(uid, []).append(rollback)
+    for candidates in undone_by.values():
+        candidates.sort(key=lambda r: r.order)
+    for rollback in rollbacks:
+        rollback.parent = None
+        rollback.children = []
+        if rollback.cause_kind != "anti" or rollback.cause_uid is None:
+            continue
+        candidates = undone_by.get(rollback.cause_uid)
+        if not candidates:
+            continue
+        parent = None
+        for candidate in candidates:
+            if candidate is rollback or candidate.order >= rollback.order:
+                break
+            parent = candidate
+        rollback.parent = parent
+    for rollback in rollbacks:
+        if rollback.parent is not None:
+            rollback.parent.children.append(rollback)
+
+
+def build_cascades(records: list[dict]) -> list[Cascade]:
+    """Reconstruct the full cascade forest of a merged trace.
+
+    Every rollback record belongs to exactly one returned cascade (a
+    rollback with no resolvable parent roots its own), so aggregate
+    counts over the forest reconcile exactly with the kernel counters.
+    """
+    rollbacks = extract_rollbacks(records)
+    link_rollbacks(rollbacks)
+    cascades = []
+    for rollback in rollbacks:
+        if rollback.parent is not None:
+            continue
+        # Iterative pre-order walk: members parents-before-children,
+        # which chain_depth relies on.
+        members = []
+        stack = [rollback]
+        while stack:
+            member = stack.pop()
+            members.append(member)
+            stack.extend(reversed(member.children))
+        cascades.append(Cascade(root=rollback, members=members))
+    return cascades

@@ -33,10 +33,27 @@ def percentile(sorted_values: list[float], q: float) -> float:
     return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
 
 
+#: The digest of an empty sample list: every statistic present (so
+#: consumers can read keys unconditionally) but explicitly null.
+EMPTY_DIGEST: dict = {
+    "count": 0,
+    "min": None,
+    "mean": None,
+    "p50": None,
+    "p90": None,
+    "max": None,
+}
+
+
 def summarize(values: list[float]) -> dict:
-    """count/min/mean/p50/p90/max digest of a sample list."""
+    """count/min/mean/p50/p90/max digest of a sample list.
+
+    An empty sample yields :data:`EMPTY_DIGEST` — all keys present,
+    all statistics ``None`` — never a raise or a NaN, so empty-value
+    series survive ``snapshot()``/``render()`` and JSON round-trips.
+    """
     if not values:
-        return {"count": 0}
+        return dict(EMPTY_DIGEST)
     ordered = sorted(values)
     return {
         "count": len(ordered),
@@ -124,6 +141,9 @@ class Metrics:
             lines.append(f"  {name:<28s} {self.counters[name]}")
         for name in sorted(self.histograms):
             s = summarize(self.histograms[name])
+            if not s["count"]:
+                lines.append(f"  {name:<28s} n=0 (no samples)")
+                continue
             lines.append(
                 f"  {name:<28s} n={s['count']} min={s['min']:.4g} "
                 f"p50={s['p50']:.4g} p90={s['p90']:.4g} max={s['max']:.4g}"

@@ -22,6 +22,7 @@ def summarize_trace(records: list[dict]) -> dict:
                 "rollback_depths": [],
                 "inbox_depths": [],
                 "events": 0,
+                "committed": 0,
                 "busy": 0.0,
                 "wall": 0.0,
                 "gvt_rounds": 0,
@@ -50,6 +51,8 @@ def summarize_trace(records: list[dict]) -> dict:
             node_bucket(node)["inbox_depths"].append(
                 float(record.get("depth", 0))
             )
+        elif kind == "commit":
+            node_bucket(node)["committed"] += int(record.get("n", 0))
         elif kind == "node_summary":
             bucket = node_bucket(node)
             bucket["events"] = int(record.get("events", 0))

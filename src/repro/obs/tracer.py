@@ -2,18 +2,23 @@
 
 One trace record per line::
 
-    {"ts": 0.001234, "node": 2, "kind": "rollback", "lp": 17, "depth": 3, ...}
+    {"ts": 0.001234, "node": 2, "seq": 41, "kind": "rollback", ...}
 
 ``ts`` is seconds since the run's epoch (wall clock, comparable across
 processes — every shard writer shares the epoch the parent sampled at
 launch).  ``node`` is the emitting node, ``-1`` for the parent or a
-single-process engine.  ``kind`` selects the schema of the remaining
-fields; DESIGN.md §7 documents every kind.
+single-process engine.  ``seq`` is a per-writer monotonic counter —
+the within-writer emission order, robust to ``ts`` collisions (the
+clock's resolution is far coarser than the emit rate).  ``kind``
+selects the schema of the remaining fields; DESIGN.md §7 documents
+every kind.
 
 In the process backend each worker writes its own shard
 (``<base>.node<i>``, see :func:`shard_path`) so tracing never
 synchronizes the workers; the parent merges the shards into ``<base>``
-ordered by ``(ts, node, arrival)`` once the run completes.
+ordered by ``(ts, node, seq)`` once the run completes — a total,
+deterministic order even when records from different writers collide
+on wall time.
 
 Non-finite floats are mapped to ``None`` on the way out so every line
 is strict JSON (``GVT == +inf`` — the quiescence proof — serializes as
@@ -53,6 +58,7 @@ class TraceWriter:
         record: dict = {
             "ts": round(time.time() - self.epoch, 6),
             "node": self.node if node is None else node,
+            "seq": self.records_written,
             "kind": kind,
         }
         for key, value in fields.items():
@@ -93,14 +99,17 @@ def merge_shards(
     extra: list[dict] | None = None,
     keep_shards: bool = False,
 ) -> int:
-    """Merge worker *shards* into *base*, ordered by ``(ts, node)``.
+    """Merge worker *shards* into *base*, ordered by ``(ts, node, seq)``.
 
-    Records with equal ``(ts, node)`` keep their within-shard order (the
-    per-node emission order is meaningful).  Missing shards are skipped
-    — a worker that died before opening its file is not an error here;
-    the backend reports worker death separately.  Shards are deleted
-    after a successful merge unless *keep_shards*.  Returns the number
-    of merged records.
+    ``seq`` is the per-writer monotonic counter :class:`TraceWriter`
+    stamps on every record, so records with identical wall time — from
+    the same writer or from different nodes — merge deterministically;
+    legacy records without a ``seq`` field fall back to their
+    within-shard file order.  Missing shards are skipped — a worker
+    that died before opening its file is not an error here; the backend
+    reports worker death separately.  Shards are deleted after a
+    successful merge unless *keep_shards*.  Returns the number of
+    merged records.
     """
     import os
 
@@ -110,15 +119,15 @@ def merge_shards(
             records = read_trace(path)
         except FileNotFoundError:
             continue
-        for seq, record in enumerate(records):
+        for order, record in enumerate(records):
             keyed.append(
                 (float(record.get("ts", 0.0)), int(record.get("node", -1)),
-                 seq, record)
+                 int(record.get("seq", order)), record)
             )
-    for seq, record in enumerate(extra or []):
+    for order, record in enumerate(extra or []):
         keyed.append(
             (float(record.get("ts", 0.0)), int(record.get("node", -1)),
-             seq, record)
+             int(record.get("seq", order)), record)
         )
     keyed.sort(key=lambda item: item[:3])
     with open(base, "w") as fh:

@@ -146,9 +146,15 @@ class SequentialSimulator:
         trace_record = self.trace.record if self.trace is not None else None
         queue_pop = queue.pop
         max_events = self.max_events
+        # Per-gate committed-event tally for the trace timeline (every
+        # sequential event is committed); None when tracing is off so
+        # the hot loop pays a single identity check.
+        commit_n = [0] * circuit.num_gates if self.tracer is not None else None
         while queue:
             event = queue_pop()
             events_processed += 1
+            if commit_n is not None:
+                commit_n[event.src] += 1
             if events_processed > max_events:
                 raise SimulationError(
                     f"exceeded max_events={self.max_events}; "
@@ -180,6 +186,20 @@ class SequentialSimulator:
                     emit(time_ + delays[sink], sink, nv)
 
         if self.tracer is not None:
+            # Committed-timeline records (one per active gate), same
+            # shape the Time Warp engines emit at fossil collection, so
+            # repro.obs.analyze reads all three engines identically.
+            for gate_index, n in enumerate(commit_n):
+                if n:
+                    self.tracer.emit(
+                        "commit",
+                        node=0,
+                        lp=gate_index,
+                        n=n,
+                        t_lo=0,
+                        t_hi=None,
+                        final=True,
+                    )
             self.tracer.emit(
                 "run_end",
                 engine="sequential",

@@ -129,6 +129,13 @@ class TimeWarpSimulator:
         ns_events = [0] * n_nodes
         ns_local = [0] * n_nodes
         ns_remote = [0] * n_nodes
+        # Attribution tallies (coasted replays, checkpoint snapshots,
+        # migration transfer time): cheap integers/floats maintained off
+        # the innermost path, turned into the per-node wall-time
+        # breakdown of the node_summary trace record.
+        ns_coast = [0] * n_nodes
+        ns_ckpt = [0] * n_nodes
+        ns_migr = [0.0] * n_nodes
 
         in_flight: list[tuple[float, int, Message]] = []
         # Cached arrival time of the earliest in-flight message (INF when
@@ -263,7 +270,11 @@ class TimeWarpSimulator:
             record.emissions[:] = new_emissions
 
         def rollback(
-            lp: LogicalProcess, to_key, now_wall: float, cancel_uid: int | None
+            lp: LogicalProcess,
+            to_key,
+            now_wall: float,
+            cancel_uid: int | None,
+            cause_msg: Message | None = None,
         ) -> None:
             nonlocal history_total
             node = lp.node
@@ -317,13 +328,31 @@ class TimeWarpSimulator:
             stats.rollbacks += 1
             stats.events_rolled_back += undone
             stats.anti_messages_sent += remote_antis
+            ns_coast[node] += coasted
             if tracer is not None:
+                # Enriched forensics record: the triggering message
+                # (straggler positive or anti), its sender, and every
+                # send this rollback undid — the links repro.obs.causality
+                # chains into cascades.
                 tracer.emit(
                     "rollback",
                     node=node,
+                    rid=counters["rollbacks"],
                     lp=lp.gate.index,
                     depth=undone,
                     t=int(to_key[0]),
+                    cause_kind="anti" if cancel_uid is not None else "straggler",
+                    cause_uid=None if cause_msg is None else cause_msg.uid,
+                    cause_src=None if cause_msg is None else cause_msg.src,
+                    cause_node=(
+                        None if cause_msg is None else lps[cause_msg.src].node
+                    ),
+                    cause_t=None if cause_msg is None else cause_msg.time,
+                    antis=[
+                        em.uid
+                        for record in undone_records
+                        for em in record.emissions
+                    ],
                 )
             work = (
                 cost.rollback_event_cost * undone
@@ -344,7 +373,7 @@ class TimeWarpSimulator:
             elif em.uid in lp.processed_uids:
                 if trace:
                     trace("cancel_rollback", em.uid, lp.gate.index)
-                rollback(lp, em.key, now_wall, cancel_uid=em.uid)
+                rollback(lp, em.key, now_wall, cancel_uid=em.uid, cause_msg=em)
             else:
                 # Positive copy not yet arrived (it can still be in
                 # flight even if the LP advanced past its key — the anti
@@ -459,7 +488,8 @@ class TimeWarpSimulator:
                     lp_ = lps[index]
                     if checkpointing:
                         # Snapshot bookkeeping: delegate to the method.
-                        history_total -= lp_.fossil_collect(floor_t)
+                        freed = lp_.fossil_collect(floor_t)
+                        history_total -= freed
                     else:
                         # Incremental mode frees a plain prefix —
                         # inlined, single pass (this sweep touches every
@@ -475,6 +505,19 @@ class TimeWarpSimulator:
                             keep_from += 1
                         del processed_[:keep_from]
                         history_total -= keep_from
+                        freed = keep_from
+                    if tracer is not None and freed:
+                        # Fossil-collected records are committed: one
+                        # timeline aggregate per LP per sweep, bounded
+                        # by LPs (never by events).
+                        tracer.emit(
+                            "commit",
+                            node=lp_.node,
+                            lp=index,
+                            n=freed,
+                            t_lo=int(oldest),
+                            t_hi=floor_t,
+                        )
                     if lp_.processed:
                         oldest_times[index] = lp_.processed[0].msg.time
                     else:
@@ -558,6 +601,8 @@ class TimeWarpSimulator:
             busy[hot] += transfer
             wall[cold] = max(wall[cold], wall[hot]) + transfer
             busy[cold] += transfer
+            ns_migr[hot] += transfer
+            ns_migr[cold] += transfer
             counters["migrations"] += len(moving)
             node_stats[hot].num_lps -= len(moving)
             node_stats[cold].num_lps += len(moving)
@@ -651,7 +696,10 @@ class TimeWarpSimulator:
                                 trace("annihilate_on_arrival", msg.uid)
                         else:
                             if msg.key <= d_lp.last_key:
-                                rollback(d_lp, msg.key, arrival, cancel_uid=None)
+                                rollback(
+                                    d_lp, msg.key, arrival,
+                                    cancel_uid=None, cause_msg=msg,
+                                )
                             # NodeQueue.push, inlined (hot: every positive
                             # arrival).
                             q = queues[d_lp.node]
@@ -859,6 +907,7 @@ class TimeWarpSimulator:
                             (msg.key, list(values), lp.output_value)
                         )
                         lp._since_checkpoint = 0
+                        ns_ckpt[node] += 1
                         wall[node] += state_save_cost  # snapshot just taken
                         busy[node] += state_save_cost
                     else:
@@ -887,7 +936,10 @@ class TimeWarpSimulator:
                                     trace("annihilate_on_arrival", em.uid)
                                 continue
                             if em.key <= dest_lp.last_key:
-                                rollback(dest_lp, em.key, now, cancel_uid=None)
+                                rollback(
+                                    dest_lp, em.key, now,
+                                    cancel_uid=None, cause_msg=em,
+                                )
                             # NodeQueue.push, inlined (locals bound at the pop
                             # above; rollback never rebinds the queue's list).
                             sk = (em.time, em.prio, em.src, em.n, em.dest, em.uid)
@@ -965,6 +1017,21 @@ class TimeWarpSimulator:
         counters["peak_history"] = peak_history
         counters["local_messages"] = local_messages
         counters["app_messages"] = app_messages
+        if tracer is not None:
+            # Quiescence flush: history that survived the last fossil
+            # sweep is committed now. With these, the sum of commit-`n`
+            # over the trace equals events_processed - rolled_back.
+            for lp in lps:
+                if lp.processed:
+                    tracer.emit(
+                        "commit",
+                        node=lp.node,
+                        lp=lp.gate.index,
+                        n=len(lp.processed),
+                        t_lo=int(lp.processed[0].msg.time),
+                        t_hi=None,
+                        final=True,
+                    )
         for i in range(n_nodes):
             node_stats[i].events_processed = ns_events[i]
             node_stats[i].messages_sent_local = ns_local[i]
@@ -972,6 +1039,29 @@ class TimeWarpSimulator:
             node_stats[i].wall_time = wall[i]
             node_stats[i].busy_time = busy[i]
             if tracer is not None:
+                # Exact decomposition of this node's busy time under the
+                # modelled cost machine; recv is the residual (it equals
+                # recv_overhead x deliveries by construction) and idle
+                # the wall/busy gap.
+                attr_compute = (
+                    ns_events[i] * event_cost + ns_ckpt[i] * state_save_cost
+                )
+                attr_rollback = (
+                    node_stats[i].events_rolled_back
+                    * cost.rollback_event_cost
+                    + ns_coast[i] * cost.coast_event_cost
+                )
+                attr_gvt = counters["gvt_rounds"] * cost.gvt_cost
+                attr_send = (
+                    ns_remote[i] + node_stats[i].anti_messages_sent
+                ) * cost.send_overhead
+                attr_recv = busy[i] - (
+                    attr_compute
+                    + attr_rollback
+                    + attr_gvt
+                    + attr_send
+                    + ns_migr[i]
+                )
                 tracer.emit(
                     "node_summary",
                     node=i,
@@ -979,8 +1069,21 @@ class TimeWarpSimulator:
                     wall=wall[i],
                     events=node_stats[i].events_processed,
                     rollbacks=node_stats[i].rollbacks,
+                    rolled_back=node_stats[i].events_rolled_back,
+                    antis=node_stats[i].anti_messages_sent,
+                    sent_remote=ns_remote[i],
+                    sent_local=ns_local[i],
                     gvt_rounds=counters["gvt_rounds"],
                     num_lps=node_stats[i].num_lps,
+                    attr={
+                        "compute": attr_compute,
+                        "rollback": attr_rollback,
+                        "gvt": attr_gvt,
+                        "send": attr_send,
+                        "recv": max(0.0, attr_recv),
+                        "migration": ns_migr[i],
+                        "idle": max(0.0, wall[i] - busy[i]),
+                    },
                 )
         return TimeWarpResult(
             circuit_name=circuit.name,

@@ -43,6 +43,7 @@ the race the grace period exists for).
 
 from __future__ import annotations
 
+import json
 import multiprocessing as mp
 import os
 import queue as queue_mod
@@ -85,6 +86,8 @@ _SHUTDOWN_PATIENCE = 5.0
 #: Shutdown join budget on the error path (don't make a failing run
 #: wait for workers that will be terminated anyway).
 _ERROR_PATIENCE = 1.0
+#: Minimum spacing between live-status snapshot writes per node (s).
+_STATUS_INTERVAL = 0.1
 
 
 # ----------------------------------------------------------------------
@@ -147,6 +150,7 @@ class NodeLoop:
         *,
         gvt_interval: int = 512,
         tracer: TraceWriter | None = None,
+        status_path: str | None = None,
     ) -> None:
         self.node = node
         self.num_nodes = num_nodes
@@ -155,10 +159,24 @@ class NodeLoop:
         self.inbox = inboxes[node]
         self.gvt_interval = gvt_interval
         self.tracer = tracer
+        #: Live-status base path; each GVT application refreshes this
+        #: node's single-line JSON snapshot (``<base>.node<i>``, written
+        #: atomically) for ``tools/tw_top.py`` to tail.
+        self.status_path = status_path
+        self._status_last = 0.0
+        self._start = time.perf_counter()
         self.clerk = GvtClerk(node=node)
         self.gvt = 0.0
         self.done = False
         self.busy = 0.0
+        #: Measured wall time inside :meth:`handle` — transport ingest
+        #: plus the rollbacks remote messages trigger.  Only maintained
+        #: with tracing on (the timed wrapper shadows ``handle``), so
+        #: the untraced wire path stays bare.
+        self.recv_busy = 0.0
+        if tracer is not None:
+            self._handle_inner = self.handle
+            self.handle = self._timed_handle
         #: Events processed since this node last applied a GVT value.
         self.since_gvt = 0
         #: Conclusive GVT computations this node observed (initiator:
@@ -199,13 +217,54 @@ class NodeLoop:
         else:
             self.gvt = value
         if self.tracer is not None:
-            try:
-                depth = self.inbox.qsize()
-            except (NotImplementedError, OSError):  # pragma: no cover
-                depth = None
             self.tracer.emit(
-                "inbox_depth", depth=depth, gvt=value, cid=cid
+                "inbox_depth", depth=self._inbox_depth(), gvt=value, cid=cid
             )
+        if self.status_path is not None:
+            self.write_status()
+
+    def _inbox_depth(self) -> int | None:
+        try:
+            return self.inbox.qsize()
+        except (NotImplementedError, OSError):  # pragma: no cover
+            return None
+
+    def write_status(self, *, force: bool = False) -> None:
+        """Atomically refresh this node's live-status snapshot file.
+
+        Throttled to one write per ``_STATUS_INTERVAL`` (idle-triggered
+        GVT rounds conclude every millisecond or so); temp-file +
+        ``os.replace`` so a tailing reader never sees a partial line.
+        """
+        now = time.perf_counter()
+        if not force and now - self._status_last < _STATUS_INTERVAL:
+            return
+        self._status_last = now
+        counters = self.engine.counters
+        snapshot = {
+            "node": self.node,
+            "ts": round(time.time(), 3),
+            "gvt": None if self.done or self.gvt == T_INF else self.gvt,
+            "done": self.done,
+            "events": counters["events"],
+            "rollbacks": counters["rollbacks"],
+            "rolled_back": counters["rolled_back"],
+            "antis": counters["anti_messages"],
+            "busy": round(self.busy, 4),
+            "wall": round(now - self._start, 4),
+            "inbox": self._inbox_depth(),
+            "num_lps": len(self.engine.lps),
+        }
+        path = shard_path(self.status_path, self.node)
+        tmp = f"{path}.tmp"
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps(snapshot, separators=(",", ":")) + "\n")
+        os.replace(tmp, path)
+
+    def _timed_handle(self, item) -> None:
+        t0 = time.perf_counter()
+        self._handle_inner(item)
+        self.recv_busy += time.perf_counter() - t0
 
     def conclude(self, token: GvtToken) -> None:
         """Initiator: finish or extend the computation *token* closes."""
@@ -326,6 +385,8 @@ class NodeLoop:
                 except queue_mod.Empty:
                     continue
                 self.handle(item)
+        if self.status_path is not None:
+            self.write_status(force=True)  # the final "done" snapshot
 
 
 def _worker_main(
@@ -341,6 +402,7 @@ def _worker_main(
     result_queue,
     trace_base: str | None,
     trace_epoch: float,
+    status_base: str | None = None,
 ) -> None:
     """Entry point of one node process."""
     try:
@@ -349,7 +411,7 @@ def _worker_main(
         _run_node(
             node, num_nodes, circuit, assignment, stimulus,
             optimism_window, gvt_interval, max_events,
-            inboxes, result_queue, trace_base, trace_epoch,
+            inboxes, result_queue, trace_base, trace_epoch, status_base,
         )
     except BaseException:  # noqa: BLE001 - ship the diagnosis to the parent
         result_queue.put((ERROR, node, traceback.format_exc()))
@@ -368,6 +430,7 @@ def _run_node(
     result_queue,
     trace_base: str | None,
     trace_epoch: float,
+    status_base: str | None = None,
 ) -> None:
     start = time.perf_counter()
     tracer = None
@@ -385,22 +448,37 @@ def _run_node(
         loop = NodeLoop(
             node, num_nodes, engine, inboxes,
             gvt_interval=gvt_interval, tracer=tracer,
+            status_path=status_base,
         )
         loop.run()
         engine.check_quiescent()
+        engine.flush_committed()
         wall = time.perf_counter() - start
         stats = engine.stats
         stats.wall_time = wall
         stats.busy_time = loop.busy
         if tracer is not None:
+            # Measured attribution: compute is the event-processing
+            # batch clock (local rollbacks included), transport the
+            # timed wire handler (ingest + remote-triggered rollbacks),
+            # idle the remainder.
             tracer.emit(
                 "node_summary",
                 busy=loop.busy,
                 wall=wall,
                 events=engine.counters["events"],
                 rollbacks=engine.counters["rollbacks"],
+                rolled_back=engine.counters["rolled_back"],
+                antis=engine.counters["anti_messages"],
+                sent_remote=engine.counters["app_messages"],
+                sent_local=engine.counters["local_messages"],
                 gvt_rounds=loop.gvt_rounds_seen,
                 num_lps=len(engine.lps),
+                attr={
+                    "compute": loop.busy,
+                    "transport": loop.recv_busy,
+                    "idle": max(0.0, wall - loop.busy - loop.recv_busy),
+                },
             )
     finally:
         if tracer is not None:
@@ -466,6 +544,7 @@ class ProcessTimeWarpSimulator:
         timeout: float = 120.0,
         death_grace: float = _DEATH_GRACE,
         trace_path: str | None = None,
+        status_path: str | None = None,
     ) -> None:
         if not circuit.frozen:
             raise SimulationError("circuit must be frozen")
@@ -496,6 +575,10 @@ class ProcessTimeWarpSimulator:
         self.timeout = timeout
         self.death_grace = death_grace
         self.trace_path = trace_path
+        #: Live-status base: each worker atomically refreshes
+        #: ``<status_path>.node<i>`` with a one-line JSON snapshot at
+        #: every GVT application (``tools/tw_top.py`` tails them).
+        self.status_path = status_path
         #: OS pid of each worker after a run — evidence the simulation
         #: really executed on separate processes.
         self.worker_pids: dict[int, int] = {}
@@ -527,6 +610,7 @@ class ProcessTimeWarpSimulator:
                     self.stimulus, self.machine.optimism_window,
                     self.machine.gvt_interval, self.max_events,
                     inboxes, results, self.trace_path, trace_epoch,
+                    self.status_path,
                 ),
                 daemon=True,
                 name=f"timewarp-node-{node}",

@@ -147,8 +147,15 @@ class NodeEngine:
             self.counters["anti_messages"] += 1
             self.stats.anti_messages_sent += 1
 
-    def _rollback(self, lp: LogicalProcess, to_key, cancel_uid: int | None) -> None:
+    def _rollback(
+        self,
+        lp: LogicalProcess,
+        to_key,
+        cancel_uid: int | None,
+        cause_msg: Message | None = None,
+    ) -> None:
         undone = 0
+        antis = [] if self.tracer is not None else None
         while lp.last_key >= to_key:
             record = lp.undo_last()
             undone += 1
@@ -161,13 +168,30 @@ class NodeEngine:
                 self.queue.push(msg)
             for em in record.emissions:
                 self._dispatch_anti(em)
+            if antis is not None:
+                antis.extend(em.uid for em in record.emissions)
         self.counters["rollbacks"] += 1
         self.counters["rolled_back"] += undone
         self.stats.rollbacks += 1
         self.stats.events_rolled_back += undone
         if self.tracer is not None:
+            # Enriched forensics record: the triggering message and the
+            # uids of every undone send — the links repro.obs.causality
+            # chains into rollback cascades.
             self.tracer.emit(
-                "rollback", lp=lp.gate.index, depth=undone, t=int(to_key[0])
+                "rollback",
+                rid=self.counters["rollbacks"],
+                lp=lp.gate.index,
+                depth=undone,
+                t=int(to_key[0]),
+                cause_kind="anti" if cancel_uid is not None else "straggler",
+                cause_uid=None if cause_msg is None else cause_msg.uid,
+                cause_src=None if cause_msg is None else cause_msg.src,
+                cause_node=(
+                    None if cause_msg is None else self.owner(cause_msg.src)
+                ),
+                cause_t=None if cause_msg is None else cause_msg.time,
+                antis=antis,
             )
 
     def _apply_cancel(self, em: Message) -> None:
@@ -175,7 +199,7 @@ class NodeEngine:
         if self.queue.contains_uid(em.uid):
             self.queue.annihilate(em.uid)
         elif em.uid in lp.processed_uids:
-            self._rollback(lp, em.key, cancel_uid=em.uid)
+            self._rollback(lp, em.key, cancel_uid=em.uid, cause_msg=em)
         else:
             self._waiting_antis[em.uid] = em
 
@@ -189,7 +213,7 @@ class NodeEngine:
             return
         lp = self.lps[msg.dest]
         if msg.key <= lp.last_key:
-            self._rollback(lp, msg.key, cancel_uid=None)
+            self._rollback(lp, msg.key, cancel_uid=None, cause_msg=msg)
         self.queue.push(msg)
 
     # ------------------------------------------------------------------
@@ -253,13 +277,48 @@ class NodeEngine:
         return remote
 
     def fossil_collect(self, gvt: float) -> None:
-        """Free history below *gvt* (records the high-water mark first)."""
+        """Free history below *gvt* (records the high-water mark first).
+
+        Freed records are committed: with tracing on, each sweep emits
+        one ``commit`` timeline record per LP it freed work from.
+        """
         history = sum(len(lp.processed) for lp in self.lps.values())
         if history > self.peak_history:
             self.peak_history = history
         if gvt != float("inf"):
-            for lp in self.lps.values():
-                lp.fossil_collect(int(gvt))
+            floor_t = int(gvt)
+            tracer = self.tracer
+            for index, lp in self.lps.items():
+                oldest = lp.processed[0].msg.time if lp.processed else None
+                freed = lp.fossil_collect(floor_t)
+                if tracer is not None and freed:
+                    tracer.emit(
+                        "commit",
+                        lp=index,
+                        n=freed,
+                        t_lo=int(oldest),
+                        t_hi=floor_t,
+                    )
+
+    def flush_committed(self) -> None:
+        """Emit the quiescence ``commit`` flush: all surviving history.
+
+        Called once GVT reached +inf — everything still held is
+        committed.  With these records the trace's commit-``n`` total
+        equals ``events - rolled_back`` exactly.
+        """
+        if self.tracer is None:
+            return
+        for index, lp in self.lps.items():
+            if lp.processed:
+                self.tracer.emit(
+                    "commit",
+                    lp=index,
+                    n=len(lp.processed),
+                    t_lo=int(lp.processed[0].msg.time),
+                    t_hi=None,
+                    final=True,
+                )
 
     # ------------------------------------------------------------------
     def check_quiescent(self) -> None:

@@ -50,7 +50,20 @@ class TestMetrics:
         assert digest["min"] == 1.0
         assert digest["max"] == 3.0
         assert digest["p50"] == 2.0
-        assert summarize([]) == {"count": 0}
+
+    def test_summarize_empty_is_explicit(self):
+        # No samples is a first-class answer, not an error: every stats
+        # key is present (None), so renderers and JSON consumers never
+        # hit a KeyError or NaN.
+        digest = summarize([])
+        assert digest == {
+            "count": 0, "min": None, "mean": None,
+            "p50": None, "p90": None, "max": None,
+        }
+        m = Metrics()
+        m.histograms["empty"] = []
+        assert m.snapshot()["histograms"]["empty"]["count"] == 0
+        assert "no samples" in m.render()
 
     def test_counters_and_histograms(self):
         m = Metrics()
@@ -115,6 +128,30 @@ class TestTracer:
         assert not os.path.exists(shard_path(base, 0))
         del epoch
 
+    def test_writer_stamps_monotonic_seq(self, tmp_path):
+        path = str(tmp_path / "seq.jsonl")
+        with TraceWriter(path, node=0) as w:
+            for _ in range(4):
+                w.emit("x")
+        assert [r["seq"] for r in read_trace(path)] == [0, 1, 2, 3]
+
+    def test_merge_breaks_timestamp_ties_with_writer_seq(self, tmp_path):
+        # Coarse clocks collide: two writers, every record at the same
+        # ts. The per-writer monotonic `seq` keeps each writer's
+        # records in emission order and interleaves nodes
+        # deterministically — sort key (ts, node, seq).
+        base = str(tmp_path / "tie.jsonl")
+        for node, kinds in ((1, ["b1", "b2"]), (0, ["a1", "a2", "a3"])):
+            with open(shard_path(base, node), "w") as fh:
+                for seq, kind in enumerate(kinds):
+                    fh.write(json.dumps(
+                        {"ts": 0.5, "node": node, "seq": seq, "kind": kind}
+                    ) + "\n")
+        merge_shards(base, [shard_path(base, n) for n in (0, 1)])
+        records = read_trace(base)
+        assert [r["kind"] for r in records] == ["a1", "a2", "a3", "b1", "b2"]
+        assert [r["seq"] for r in records] == [0, 1, 2, 0, 1]
+
     def test_merge_can_keep_shards(self, tmp_path):
         base = str(tmp_path / "m.jsonl")
         with TraceWriter(shard_path(base, 0), node=0, epoch=0.0) as w:
@@ -133,8 +170,14 @@ class TestEngineTracing:
         with TraceWriter(path) as tracer:
             result = SequentialSimulator(s27, stimulus, tracer=tracer).run()
         records = read_trace(path)
-        assert [r["kind"] for r in records] == ["run_start", "run_end"]
-        assert records[1]["events"] == result.events_processed
+        assert records[0]["kind"] == "run_start"
+        assert records[-1]["kind"] == "run_end"
+        assert records[-1]["events"] == result.events_processed
+        # Between the brackets: the committed timeline, one record per
+        # active gate, accounting for every processed event.
+        commits = [r for r in records[1:-1] if r["kind"] == "commit"]
+        assert len(commits) == len(records) - 2
+        assert sum(r["n"] for r in commits) == result.events_processed
 
     def test_virtual_backend_accounts_for_itself(self, s27, tmp_path):
         path = str(tmp_path / "virtual.jsonl")

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Per-partitioner scorecard: static cut quality joined with traced
+Time Warp dynamics — the analogue of the paper's Tables 2-4, with the
+rollback columns *cascade-attributed* (every rollback in the trace is
+chained to the straggler that rooted it, and the wasted-event totals
+are asserted to reconcile exactly with the kernel's counters before a
+row is printed).
+
+    python tools/partition_report.py                       # s27 x 4 nodes
+    python tools/partition_report.py --circuit s9234 --nodes 8 --scale 0.12
+    python tools/partition_report.py --json scorecard.json
+
+Runs the virtual (modelled-cluster) backend so rows are deterministic
+for a fixed seed set.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.circuit.iscas89 import load_benchmark
+from repro.harness.config import ALGORITHMS
+from repro.obs import (
+    TraceWriter,
+    analyze_trace,
+    read_trace,
+    render_analysis,
+    render_scorecard,
+    scorecard_row,
+)
+from repro.partition.registry import get_partitioner
+from repro.sim import RandomStimulus
+from repro.warped import TimeWarpSimulator, VirtualMachine
+
+
+def build_scorecard(
+    circuit_name: str,
+    nodes: int,
+    *,
+    scale: float = 1.0,
+    num_cycles: int = 40,
+    period: int = 100,
+    stimulus_seed: int = 7,
+    partition_seed: int = 3,
+    circuit_seed: int = 2000,
+    gvt_interval: int = 64,
+    algorithms: tuple[str, ...] = ALGORITHMS,
+    trace_dir: str | None = None,
+    forensics: bool = False,
+) -> tuple[list[dict], list[str]]:
+    """One traced virtual run per partitioner; returns (rows, reports)."""
+    circuit = load_benchmark(circuit_name, scale=scale, seed=circuit_seed)
+    stimulus = RandomStimulus(
+        circuit, num_cycles=num_cycles, period=period, seed=stimulus_seed
+    )
+    rows: list[dict] = []
+    reports: list[str] = []
+    for algorithm in algorithms:
+        assignment = get_partitioner(
+            algorithm, seed=partition_seed
+        ).partition(circuit, nodes)
+        machine = VirtualMachine(num_nodes=nodes, gvt_interval=gvt_interval)
+        if trace_dir is not None:
+            trace_path = str(
+                Path(trace_dir) / f"{circuit_name}.{algorithm}.jsonl"
+            )
+        else:
+            import tempfile
+
+            trace_path = str(
+                Path(tempfile.mkdtemp(prefix="partition_report."))
+                / f"{algorithm}.jsonl"
+            )
+        with TraceWriter(trace_path) as tracer:
+            result = TimeWarpSimulator(
+                circuit, assignment, stimulus, machine, tracer=tracer
+            ).run()
+        records = read_trace(trace_path)
+        # scorecard_row raises AssertionError unless every rollback is
+        # cascade-attributed and wasted totals reconcile exactly.
+        rows.append(scorecard_row(result, assignment, records))
+        if forensics:
+            reports.append(render_analysis(
+                analyze_trace(
+                    records, circuit=circuit, assignment=assignment,
+                    cost_model=machine.cost_model,
+                ),
+                title=f"{circuit_name} / {algorithm} x{nodes}",
+            ))
+    return rows, reports
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--circuit", default="s27",
+                        choices=["s27", "s5378", "s9234", "s15850"])
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="circuit scale (s27 ships full-size only)")
+    parser.add_argument("--cycles", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=7,
+                        help="stimulus seed (fixed => deterministic rows)")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="keep the per-partitioner traces here")
+    parser.add_argument("--forensics", action="store_true",
+                        help="print the full per-run forensics report too")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the rows as JSON (- for stdout)")
+    args = parser.parse_args(argv)
+    if args.trace_dir is not None:
+        Path(args.trace_dir).mkdir(parents=True, exist_ok=True)
+    rows, reports = build_scorecard(
+        args.circuit, args.nodes,
+        scale=args.scale, num_cycles=args.cycles,
+        stimulus_seed=args.seed, trace_dir=args.trace_dir,
+        forensics=args.forensics,
+    )
+    title = f"{args.circuit} x{args.nodes} nodes, {args.cycles} cycles"
+    print(render_scorecard(rows, title=title))
+    for report in reports:
+        print()
+        print(report)
+    if args.json is not None:
+        payload = json.dumps(rows, indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            Path(args.json).write_text(payload + "\n")
+            print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)

@@ -3,9 +3,12 @@
 
     python tools/trace_report.py artifacts/s27.trace.jsonl
     python tools/trace_report.py --json run.jsonl      # machine-readable
+    python tools/trace_report.py --compare old.jsonl new.jsonl
 
 Works on a merged trace or on a single worker shard; see DESIGN.md §7
-for the record schema.
+for the record schema.  ``--compare`` diffs two runs' digests and exits
+nonzero when the second run regressed by more than 20% on rollbacks or
+GVT-round latency.
 """
 
 from __future__ import annotations
@@ -21,13 +24,71 @@ except ImportError:  # running from a checkout without PYTHONPATH=src
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
     from repro.obs import read_trace, render_trace_summary, summarize_trace
 
+#: Relative growth beyond which --compare flags a metric as regressed.
+REGRESSION_THRESHOLD = 0.20
+
+#: Metrics --compare watches: label -> digest extractor.
+_COMPARE_METRICS = (
+    ("rollbacks", lambda s: float(s["rollbacks_total"])),
+    ("rolled-back depth p90", lambda s: s["rollback_depth"]["p90"]),
+    ("gvt latency p90 (s)", lambda s: s["gvt_latency"]["p90"]),
+    ("gvt rounds", lambda s: float(s["gvt_rounds"])),
+)
+
+
+def compare_traces(path_a: str, path_b: str) -> tuple[str, bool]:
+    """Diff two runs' digests; returns (report, any_regression).
+
+    A metric regresses when run B exceeds run A by more than
+    ``REGRESSION_THRESHOLD`` (missing samples on either side are
+    reported but never flagged — absence is not a regression).
+    """
+    a = summarize_trace(read_trace(path_a))
+    b = summarize_trace(read_trace(path_b))
+    lines = [
+        f"compare: A={path_a}  B={path_b}",
+        f"{'metric':<24s} {'A':>12s} {'B':>12s} {'delta':>9s}",
+    ]
+    regressed = False
+    for label, extract in _COMPARE_METRICS:
+        va, vb = extract(a), extract(b)
+        if va is None or vb is None:
+            lines.append(f"{label:<24s} {'-':>12s} {'-':>12s} {'n/a':>9s}")
+            continue
+        if va > 0:
+            delta = (vb - va) / va
+            delta_s = f"{delta:+8.1%}"
+        else:
+            delta = float("inf") if vb > 0 else 0.0
+            delta_s = "   +inf%" if vb > 0 else "   +0.0%"
+        flag = ""
+        if delta > REGRESSION_THRESHOLD:
+            regressed = True
+            flag = "  << REGRESSION"
+        lines.append(f"{label:<24s} {va:>12.4g} {vb:>12.4g} {delta_s:>9s}{flag}")
+    lines.append(
+        "verdict: REGRESSED (>{:.0%} growth)".format(REGRESSION_THRESHOLD)
+        if regressed
+        else "verdict: OK (within {:.0%})".format(REGRESSION_THRESHOLD)
+    )
+    return "\n".join(lines), regressed
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("trace", nargs="+", help="JSONL trace file(s)")
     parser.add_argument("--json", action="store_true",
                         help="emit the summary as JSON instead of text")
+    parser.add_argument("--compare", action="store_true",
+                        help="diff exactly two traces (A then B); exit 1 "
+                        "when B regressed >20%% on rollbacks/GVT latency")
     args = parser.parse_args(argv)
+    if args.compare:
+        if len(args.trace) != 2:
+            parser.error("--compare takes exactly two trace files: A B")
+        report, regressed = compare_traces(args.trace[0], args.trace[1])
+        print(report)
+        return 1 if regressed else 0
     for path in args.trace:
         summary = summarize_trace(read_trace(path))
         if args.json:

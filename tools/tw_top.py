@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""``top`` for a running Time Warp: tail the per-node live-status
+snapshots the process backend writes and render a refreshing dashboard.
+
+Start a run with snapshots enabled, then watch it:
+
+    python -m repro run --backend process --live-status /tmp/run.status &
+    python tools/tw_top.py /tmp/run.status
+
+Each worker atomically refreshes ``<base>.node<i>`` (one JSON line)
+every GVT round, so the dashboard needs no IPC with the simulation —
+it just re-reads small files.  Rendering is plain ANSI (clear + home
+between frames); ``--once`` prints a single frame with no escape codes
+and exits, which is what CI's no-TTY smoke test runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import re
+import sys
+import time
+
+_NODE_RE = re.compile(r"\.node(\d+)$")
+
+#: A snapshot older than this (vs. the newest one) renders as STALE.
+_STALE_AFTER = 2.0
+
+
+def read_snapshots(base: str) -> dict[int, dict]:
+    """Parse every ``<base>.node<i>`` snapshot currently on disk."""
+    snapshots: dict[int, dict] = {}
+    for path in glob.glob(f"{base}.node*"):
+        match = _NODE_RE.search(path)
+        if not match:
+            continue
+        try:
+            with open(path) as fh:
+                snapshots[int(match.group(1))] = json.loads(fh.read())
+        except (OSError, ValueError):
+            continue  # mid-replace or partial file: skip this frame
+    return snapshots
+
+
+def render_frame(
+    snapshots: dict[int, dict],
+    rates: dict[int, float],
+    *,
+    clock: float,
+) -> str:
+    """One dashboard frame as plain text."""
+    newest = max((s.get("ts", 0.0) for s in snapshots.values()), default=0.0)
+    lines = [
+        f"tw_top — {len(snapshots)} node(s), "
+        + time.strftime("%H:%M:%S", time.localtime(clock)),
+        f"{'node':>4s} {'state':<6s} {'gvt':>9s} {'events':>9s} "
+        f"{'ev/s':>8s} {'rb':>6s} {'wasted':>7s} {'antis':>6s} "
+        f"{'util':>6s} {'inbox':>6s} {'lps':>5s}",
+    ]
+    totals = {"events": 0, "rollbacks": 0, "rolled_back": 0, "antis": 0}
+    for node in sorted(snapshots):
+        snap = snapshots[node]
+        if snap.get("done"):
+            state = "done"
+        elif newest - snap.get("ts", 0.0) > _STALE_AFTER:
+            state = "stale"
+        else:
+            state = "run"
+        gvt = snap.get("gvt")
+        wall = snap.get("wall") or 0.0
+        util = (snap.get("busy") or 0.0) / wall if wall > 0 else 0.0
+        rate = rates.get(node)
+        lines.append(
+            f"{node:>4d} {state:<6s} "
+            f"{'-' if gvt is None else format(gvt, '>9.0f'):>9s} "
+            f"{snap.get('events', 0):>9d} "
+            f"{'-' if rate is None else format(rate, '.0f'):>8s} "
+            f"{snap.get('rollbacks', 0):>6d} "
+            f"{snap.get('rolled_back', 0):>7d} "
+            f"{snap.get('antis', 0):>6d} "
+            f"{util:>6.0%} "
+            f"{'-' if snap.get('inbox') is None else snap['inbox']:>6} "
+            f"{snap.get('num_lps', 0):>5d}"
+        )
+        for key in totals:
+            totals[key] += snap.get(key, 0) or 0
+    events = totals["events"]
+    waste = totals["rolled_back"] / events if events else 0.0
+    lines.append(
+        f"total: {events} events, {totals['rollbacks']} rollbacks "
+        f"({totals['rolled_back']} events wasted, {waste:.1%}), "
+        f"{totals['antis']} anti-messages"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("status_base",
+                        help="live-status base path (the --live-status value)")
+    parser.add_argument("--interval", type=float, default=0.5,
+                        help="refresh period in seconds (default 0.5)")
+    parser.add_argument("--once", action="store_true",
+                        help="print one frame without escape codes and exit "
+                        "(CI / no-TTY mode)")
+    args = parser.parse_args(argv)
+
+    previous: dict[int, tuple[float, int]] = {}
+
+    def frame() -> tuple[str, dict[int, dict]]:
+        snapshots = read_snapshots(args.status_base)
+        now = time.time()
+        rates: dict[int, float] = {}
+        for node, snap in snapshots.items():
+            events = int(snap.get("events", 0))
+            if node in previous:
+                t0, e0 = previous[node]
+                if now > t0 and events >= e0:
+                    rates[node] = (events - e0) / (now - t0)
+            previous[node] = (now, events)
+        return render_frame(snapshots, rates, clock=now), snapshots
+
+    if args.once:
+        text, snapshots = frame()
+        if not snapshots:
+            print(f"tw_top: no snapshots at {args.status_base}.node*",
+                  file=sys.stderr)
+            return 1
+        print(text)
+        return 0
+
+    try:
+        while True:
+            text, snapshots = frame()
+            sys.stdout.write("\x1b[H\x1b[2J")  # home + clear
+            if snapshots:
+                print(text)
+                if all(s.get("done") for s in snapshots.values()):
+                    print("all nodes quiescent — exiting")
+                    return 0
+            else:
+                print(f"waiting for snapshots at {args.status_base}.node* ...")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
