@@ -45,6 +45,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="process backend: write per-node live-status "
                         "snapshots to PATH.node<i> every GVT round (watch "
                         "with tools/tw_top.py)")
+    parser.add_argument("--checkpoint-interval", type=int, default=None,
+                        dest="checkpoint_interval", metavar="VT",
+                        help="periodic consistent checkpoints every VT "
+                        "virtual time units (process backend: crash-recovery "
+                        "epochs; virtual backend: periodic state saving)")
+    parser.add_argument("--max-restarts", type=int, default=None,
+                        dest="max_restarts", metavar="N",
+                        help="process backend: survive up to N crashes per "
+                        "node by restarting from the last checkpoint epoch "
+                        "(requires --checkpoint-interval)")
     parser.add_argument("--metrics", action="store_true",
                         help="collect harness metrics and print them at exit")
 
@@ -61,6 +71,10 @@ def _runner(args: argparse.Namespace) -> ExperimentRunner:
         overrides["trace_path"] = args.trace
     if getattr(args, "live_status", None) is not None:
         overrides["status_path"] = args.live_status
+    if getattr(args, "checkpoint_interval", None) is not None:
+        overrides["checkpoint_interval"] = args.checkpoint_interval
+    if getattr(args, "max_restarts", None) is not None:
+        overrides["max_restarts"] = args.max_restarts
     if getattr(args, "metrics", False):
         overrides["metrics_enabled"] = True
     config = ExperimentConfig.from_env(**overrides)

@@ -13,6 +13,11 @@ circuits (DESIGN.md §5). Environment overrides:
   (rollbacks, GVT rounds, queue depths; see :mod:`repro.obs`);
 - ``REPRO_STATUS=path`` — live per-node status snapshots (process
   backend; ``tools/tw_top.py`` tails them);
+- ``REPRO_TW_CKPT=interval`` — periodic consistent checkpoints every
+  *interval* virtual time units (process backend: crash-recovery
+  epochs; virtual backend: periodic state saving);
+- ``REPRO_TW_RESTARTS=n`` — per-node restart budget for the process
+  backend (needs ``REPRO_TW_CKPT``);
 - ``REPRO_METRICS=1`` — collect and print harness-level metrics.
 """
 
@@ -78,6 +83,17 @@ class ExperimentConfig:
     #: per-node JSON snapshots ``<base>.node<i>`` every GVT round for
     #: ``tools/tw_top.py`` to tail.  None disables the snapshots.
     status_path: str | None = None
+    #: Periodic consistent-checkpoint interval in virtual time units
+    #: (None disables).  On the process backend this drives the
+    #: crash-recovery epochs; on the virtual backend it selects the
+    #: kernel's periodic state-saving policy.
+    checkpoint_interval: int | None = None
+    #: Per-node restart budget for the process backend (0 = fail-stop;
+    #: > 0 needs ``checkpoint_interval``).
+    max_restarts: int = 0
+    #: Where the process backend keeps its checkpoint epoch files
+    #: (None = a temporary directory per run).
+    checkpoint_dir: str | None = None
     #: Collect counters/timers in the harness (printed by the CLI).
     metrics_enabled: bool = False
     tw_costs: TimeWarpCostModel = field(default_factory=TimeWarpCostModel)
@@ -95,6 +111,15 @@ class ExperimentConfig:
         if self.backend not in ("virtual", "process"):
             raise ConfigError(
                 f"backend must be 'virtual' or 'process', got {self.backend!r}"
+            )
+        if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
+            raise ConfigError("checkpoint_interval must be positive or None")
+        if self.max_restarts < 0:
+            raise ConfigError("max_restarts must be >= 0")
+        if self.max_restarts > 0 and self.checkpoint_interval is None:
+            raise ConfigError(
+                "max_restarts needs checkpoint_interval: restarts resume "
+                "from periodic checkpoint epochs"
             )
 
     @property
@@ -121,6 +146,14 @@ class ExperimentConfig:
             overrides.setdefault("trace_path", os.environ["REPRO_TRACE"])
         if "REPRO_STATUS" in os.environ:
             overrides.setdefault("status_path", os.environ["REPRO_STATUS"])
+        if "REPRO_TW_CKPT" in os.environ:
+            overrides.setdefault(
+                "checkpoint_interval", int(os.environ["REPRO_TW_CKPT"])
+            )
+        if "REPRO_TW_RESTARTS" in os.environ:
+            overrides.setdefault(
+                "max_restarts", int(os.environ["REPRO_TW_RESTARTS"])
+            )
         if os.environ.get("REPRO_METRICS") == "1":
             overrides.setdefault("metrics_enabled", True)
         return cls(**overrides)

@@ -171,6 +171,7 @@ class ExperimentRunner:
                 cost_model=self.config.tw_costs,
                 gvt_interval=self.config.gvt_interval,
                 optimism_window=self.config.optimism_window,
+                checkpoint_interval=self.config.checkpoint_interval,
             )
             trace_path = self._next_trace_path()
             quad = (
@@ -185,6 +186,8 @@ class ExperimentRunner:
                         *quad,
                         trace_path=trace_path,
                         status_path=self.config.status_path,
+                        max_restarts=self.config.max_restarts,
+                        checkpoint_dir=self.config.checkpoint_dir,
                     ).run()
                 elif trace_path is not None:
                     with TraceWriter(trace_path) as tracer:

@@ -173,6 +173,40 @@ def critical_path(
 
 
 # ----------------------------------------------------------------------
+# crash recovery
+# ----------------------------------------------------------------------
+def recovery_summary(records: list[dict]) -> dict:
+    """Checkpoint/restart accounting from ``ckpt``/``restart`` records.
+
+    Checkpoint totals come from the surviving (newest-attempt) shard
+    records; each parent-emitted ``restart`` record contributes its
+    replayed-message count and measured downtime, so the report can say
+    how much wall clock crash recovery cost the run.
+    """
+    ckpts = 0
+    ckpt_bytes = 0
+    ckpt_secs = 0.0
+    restarts = []
+    for record in records:
+        kind = record.get("kind")
+        if kind == "ckpt":
+            ckpts += 1
+            ckpt_bytes += int(record.get("bytes", 0))
+            ckpt_secs += float(record.get("secs", 0.0))
+        elif kind == "restart":
+            restarts.append(record)
+    return {
+        "checkpoints": ckpts,
+        "checkpoint_bytes": ckpt_bytes,
+        "checkpoint_seconds": ckpt_secs,
+        "restarts": len(restarts),
+        "replayed": sum(int(r.get("replayed", 0)) for r in restarts),
+        "downtime": sum(float(r.get("downtime", 0.0)) for r in restarts),
+        "restart_records": restarts,
+    }
+
+
+# ----------------------------------------------------------------------
 # wall-time attribution
 # ----------------------------------------------------------------------
 def wall_time_attribution(records: list[dict]) -> dict:
@@ -224,6 +258,7 @@ def analyze_trace(
             "timelines": committed,
         },
         "attribution": wall_time_attribution(records),
+        "recovery": recovery_summary(records),
         "critical_path": None,
     }
     if circuit is not None:
@@ -278,6 +313,28 @@ def render_analysis(analysis: dict, *, title: str = "trace") -> str:
         f"  committed: {commits['committed_total']} events over "
         f"{commits['lps']} LPs"
     )
+    recovery = analysis.get("recovery")
+    if recovery and (recovery["checkpoints"] or recovery["restarts"]):
+        lines.append(
+            f"  recovery: {recovery['checkpoints']} checkpoints "
+            f"({recovery['checkpoint_bytes']} B, "
+            f"{recovery['checkpoint_seconds']:.4g}s), "
+            f"{recovery['restarts']} restarts "
+            f"({recovery['replayed']} messages replayed, "
+            f"{recovery['downtime']:.4g}s downtime)"
+        )
+        for record in recovery["restart_records"]:
+            if record.get("epoch") is None:
+                resumed = "restarted from scratch (no complete epoch)"
+            else:
+                resumed = (
+                    f"resumed from epoch cid={record.get('epoch')} "
+                    f"gvt={record.get('gvt')}"
+                )
+            lines.append(
+                f"    restart -> attempt {record.get('to_attempt')}: "
+                f"nodes {record.get('failed')} failed, {resumed}"
+            )
     path = analysis.get("critical_path")
     if path is not None:
         lines.append(

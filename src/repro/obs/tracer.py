@@ -32,20 +32,38 @@ import math
 import time
 
 
-def shard_path(base: str, node: int) -> str:
-    """The per-worker shard file for *node* under merged path *base*."""
+def shard_path(base: str, node: int, attempt: int = 0) -> str:
+    """The per-worker shard file for *node* under merged path *base*.
+
+    Restart attempts write to distinct files (``<base>.node<i>.r<k>``
+    for attempt ``k > 0``) so a crashed worker's shard survives for
+    post-mortem while its replacement starts a fresh one.
+    """
+    if attempt:
+        return f"{base}.node{node}.r{attempt}"
     return f"{base}.node{node}"
 
 
 class TraceWriter:
     """Streaming JSONL writer for one process's trace records."""
 
-    __slots__ = ("path", "node", "epoch", "records_written", "_fh")
+    __slots__ = ("path", "node", "epoch", "attempt", "records_written", "_fh")
 
-    def __init__(self, path: str, *, node: int = -1, epoch: float | None = None):
+    def __init__(
+        self,
+        path: str,
+        *,
+        node: int = -1,
+        epoch: float | None = None,
+        attempt: int = 0,
+    ):
         self.path = str(path)
         self.node = node
         self.epoch = time.time() if epoch is None else epoch
+        #: Restart-attempt id; stamped on every record when non-zero so
+        #: :func:`merge_shards` can discard a crashed lineage's records
+        #: in favour of its replacement's.
+        self.attempt = attempt
         self.records_written = 0
         # Line-buffered on purpose: a crashing worker leaves complete
         # records behind for post-mortem instead of an empty shard.
@@ -61,6 +79,8 @@ class TraceWriter:
             "seq": self.records_written,
             "kind": kind,
         }
+        if self.attempt:
+            record["attempt"] = self.attempt
         for key, value in fields.items():
             if isinstance(value, float) and not math.isfinite(value):
                 value = None
@@ -107,23 +127,39 @@ def merge_shards(
     legacy records without a ``seq`` field fall back to their
     within-shard file order.  Missing shards are skipped — a worker
     that died before opening its file is not an error here; the backend
-    reports worker death separately.  Shards are deleted after a
-    successful merge unless *keep_shards*.  Returns the number of
-    merged records.
+    reports worker death separately.
+
+    Records carry an ``attempt`` field when a restarted worker emitted
+    them (see :class:`TraceWriter`); for each node only the records of
+    its **newest** attempt are merged.  A respawned worker re-executes
+    — and re-traces — the work since the restore checkpoint, so keeping
+    a crashed lineage's records alongside its replacement's would
+    double-count that overlap.  Parent-emitted records (``node == -1``)
+    never carry ``attempt`` and are always kept.
+
+    Shards are deleted after a successful merge unless *keep_shards*.
+    Returns the number of merged records.
     """
     import os
 
-    keyed: list[tuple[float, int, int, dict]] = []
+    staged: list[tuple[float, int, int, dict]] = []
+    newest: dict[int, int] = {}
     for path in shards:
         try:
             records = read_trace(path)
         except FileNotFoundError:
             continue
         for order, record in enumerate(records):
-            keyed.append(
-                (float(record.get("ts", 0.0)), int(record.get("node", -1)),
+            node = int(record.get("node", -1))
+            newest[node] = max(newest.get(node, 0), record.get("attempt", 0))
+            staged.append(
+                (float(record.get("ts", 0.0)), node,
                  int(record.get("seq", order)), record)
             )
+    keyed = [
+        item for item in staged
+        if item[3].get("attempt", 0) == newest.get(item[1], 0)
+    ]
     for order, record in enumerate(extra or []):
         keyed.append(
             (float(record.get("ts", 0.0)), int(record.get("node", -1)),

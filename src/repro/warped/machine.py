@@ -95,6 +95,10 @@ class VirtualMachine:
     #: State-saving policy: ``None`` = incremental (per-event undo
     #: records, WARPED's default for small states); an integer C =
     #: snapshot every C events with coast-forward on rollback.
+    #: The process backend saves state incrementally regardless and
+    #: reads C as the *virtual-time* spacing of its crash-recovery
+    #: checkpoint epochs (a consistent ring-wide snapshot each time a
+    #: broadcast GVT crosses a multiple of C).
     checkpoint_interval: int | None = None
     #: Dynamic load balancing: at each GVT round, if the busiest node
     #: did more than ``migration_threshold`` times the work of the

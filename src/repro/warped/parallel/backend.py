@@ -31,14 +31,37 @@ while a finished worker's payload is still in the feeder pipe), and
 shutdown drains every inbox while joining so a worker blocked flushing
 a full queue at exit can always get out (see ``_shutdown``).
 
+Fault tolerance: with ``machine.checkpoint_interval`` set, every node
+snapshots its full state (LP histories, pending queue, GVT clerk,
+channel send log) each time an applied GVT broadcast crosses a multiple
+of that virtual-time interval — the N snapshots of one computation id
+form a consistent epoch (:mod:`repro.warped.parallel.recovery`).  With
+``max_restarts > 0`` the parent reacts to a worker death or error by
+rolling the whole ring back: it shuts the attempt down, restores every
+node from the last complete epoch, replays the messages that were in
+flight across the cut, and resumes the GVT ring under fresh computation
+ids.  After a node exhausts its restart budget the run degrades
+gracefully to the virtual backend, reported via
+``TimeWarpResult.degraded``.  Committed results are bit-identical to an
+uninterrupted run either way — Time Warp's interleaving independence
+extends to restarts because the replay protocol neither loses nor
+duplicates messages.
+
 Fault injection for tests: ``REPRO_TW_FAULT`` is a comma-separated
 list of ``node:mode[:arg]`` clauses applied inside the matching worker
 — ``raise`` (throw at startup, exercising the ERROR wire path),
 ``exit`` (``os._exit(arg)``, silent death), ``hang`` (sleep *arg*
-seconds), ``flood`` (stuff ~4k messages into node *arg*'s inbox and
-exit without reporting, wedging this worker's queue feeder), and
-``late-report`` (sleep *arg* seconds between finishing and reporting —
-the race the grace period exists for).
+seconds), ``flood`` (stuff ~4k messages into node *arg*'s inbox via
+``put_nowait`` — dropping, never blocking, when the inbox is bounded —
+and exit without reporting, wedging this worker's queue feeder),
+``exit-at`` (``os._exit`` after *arg* locally processed events — the
+mid-run crash the recovery tests inject), and ``late-report`` (sleep
+*arg* seconds between finishing and reporting — the race the grace
+period exists for).  Clauses fire on the first attempt only, so a
+respawned worker runs clean; suffix the mode with ``*`` (e.g.
+``1:exit-at*:200``) to re-arm it on every attempt, which is how the
+restart-budget-exhaustion path is exercised.  Malformed clauses raise
+:class:`~repro.errors.ConfigError` naming the offending clause.
 """
 
 from __future__ import annotations
@@ -47,6 +70,7 @@ import json
 import multiprocessing as mp
 import os
 import queue as queue_mod
+import tempfile
 import time
 import traceback
 
@@ -56,12 +80,15 @@ from repro.obs.tracer import TraceWriter, merge_shards, shard_path
 from repro.partition.assignment import PartitionAssignment
 from repro.sim.stimulus import Stimulus
 from repro.warped.machine import VirtualMachine
+from repro.warped.parallel import recovery as recovery_mod
 from repro.warped.parallel.node import NodeEngine
 from repro.warped.parallel.protocol import (
+    CKPT,
     DONE,
     ERROR,
     GVT,
     MSG,
+    RESUME,
     TOKEN,
     T_INF,
     GvtClerk,
@@ -88,13 +115,33 @@ _SHUTDOWN_PATIENCE = 5.0
 _ERROR_PATIENCE = 1.0
 #: Minimum spacing between live-status snapshot writes per node (s).
 _STATUS_INTERVAL = 0.1
+#: Bounded retry on transport puts: attempts and first backoff (s).
+#: Exponential doubling makes the total wait ~2.5s before the sender
+#: gives up and dies with a diagnosis (which the parent can then treat
+#: as a restartable node failure).
+_PUT_RETRIES = 10
+_PUT_BACKOFF = 0.005
 
 
 # ----------------------------------------------------------------------
 # fault injection (test hook)
 # ----------------------------------------------------------------------
-def _worker_faults(node: int) -> list[tuple[str, str | None]]:
-    """Parse ``REPRO_TW_FAULT`` clauses addressed to *node*."""
+#: Recognised REPRO_TW_FAULT modes (an unknown mode is a ConfigError —
+#: a typo must fail loudly, not silently skip the injection).
+_FAULT_MODES = frozenset(
+    {"raise", "exit", "hang", "flood", "exit-at", "late-report"}
+)
+
+
+def _worker_faults(node: int, attempt: int = 0) -> list[tuple[str, str | None]]:
+    """Parse ``REPRO_TW_FAULT`` clauses addressed to *node*.
+
+    Each clause is ``node:mode[:arg]``; a ``*`` suffix on the mode
+    re-arms the fault on every restart attempt (by default a clause
+    fires only on attempt 0, so a respawned worker runs clean).
+    Malformed clauses — no mode, a non-integer node, an unknown mode —
+    raise :class:`ConfigError` naming the clause.
+    """
     spec = os.environ.get("REPRO_TW_FAULT", "")
     faults: list[tuple[str, str | None]] = []
     for clause in spec.split(","):
@@ -102,15 +149,38 @@ def _worker_faults(node: int) -> list[tuple[str, str | None]]:
         if not clause:
             continue
         parts = clause.split(":")
-        if int(parts[0]) != node:
+        if len(parts) < 2 or not parts[1]:
+            raise ConfigError(
+                f"REPRO_TW_FAULT clause {clause!r} has no mode "
+                "(expected node:mode[:arg])"
+            )
+        try:
+            target = int(parts[0])
+        except ValueError:
+            raise ConfigError(
+                f"REPRO_TW_FAULT clause {clause!r} has a non-integer "
+                "node (expected node:mode[:arg])"
+            ) from None
+        mode = parts[1]
+        persistent = mode.endswith("*")
+        if persistent:
+            mode = mode[:-1]
+        if mode not in _FAULT_MODES:
+            raise ConfigError(
+                f"REPRO_TW_FAULT clause {clause!r} has unknown mode "
+                f"{mode!r} (one of {sorted(_FAULT_MODES)})"
+            )
+        if target != node:
             continue
-        faults.append((parts[1], parts[2] if len(parts) > 2 else None))
+        if attempt > 0 and not persistent:
+            continue  # faults are one-shot unless re-armed with '*'
+        faults.append((mode, parts[2] if len(parts) > 2 else None))
     return faults
 
 
-def _apply_startup_faults(node: int, inboxes) -> bool:
+def _apply_startup_faults(node: int, inboxes, attempt: int = 0) -> bool:
     """Run *node*'s startup fault clauses; True means "do not simulate"."""
-    for mode, arg in _worker_faults(node):
+    for mode, arg in _worker_faults(node, attempt):
         if mode == "raise":
             raise RuntimeError(f"injected fault in node {node}")
         if mode == "exit":
@@ -119,10 +189,50 @@ def _apply_startup_faults(node: int, inboxes) -> bool:
             time.sleep(float(arg or 3600.0))
         if mode == "flood":
             dest = int(arg or 0)
+            dropped = 0
             for _ in range(4096):
-                inboxes[dest].put((GVT, 0, 0.0))
+                try:
+                    # Never block: a bounded inbox nobody drains would
+                    # otherwise deadlock the injector against its own
+                    # flood.  Dropping is fine — the point is wedging
+                    # the feeder with a full pipe, which the successful
+                    # puts already achieve.
+                    inboxes[dest].put_nowait((GVT, 0, 0.0))
+                except queue_mod.Full:
+                    dropped += 1
+            if dropped:  # pragma: no cover - depends on inbox bound
+                print(
+                    f"flood injector: dropped {dropped} messages against "
+                    f"a full inbox {dest}",
+                    flush=True,
+                )
             return True  # exit without reporting; the feeder must flush
     return False
+
+
+def _put_wire(q, item) -> None:
+    """Put *item* with bounded retry and exponential backoff.
+
+    Unbounded queues (the default) never raise ``Full``, so this is a
+    single ``put_nowait`` on the hot path.  Against a bounded transport
+    the sender backs off exponentially and, if the queue stays full past
+    the retry budget (a dead or wedged peer), raises instead of blocking
+    forever — turning a silent distributed deadlock into a diagnosable,
+    restartable node failure.
+    """
+    delay = _PUT_BACKOFF
+    for remaining in range(_PUT_RETRIES, 0, -1):
+        try:
+            q.put_nowait(item)
+            return
+        except queue_mod.Full:
+            if remaining == 1:
+                raise SimulationError(
+                    f"transport put failed {_PUT_RETRIES} times against a "
+                    "full queue — receiver dead or wedged"
+                ) from None
+            time.sleep(delay)
+            delay *= 2
 
 
 # ----------------------------------------------------------------------
@@ -151,6 +261,10 @@ class NodeLoop:
         gvt_interval: int = 512,
         tracer: TraceWriter | None = None,
         status_path: str | None = None,
+        ckpt_interval: int | None = None,
+        ckpt_dir: str | None = None,
+        attempt: int = 0,
+        control=None,
     ) -> None:
         self.node = node
         self.num_nodes = num_nodes
@@ -159,6 +273,34 @@ class NodeLoop:
         self.inbox = inboxes[node]
         self.gvt_interval = gvt_interval
         self.tracer = tracer
+        #: Crash-recovery checkpointing: with an interval set, a state
+        #: snapshot goes to ``ckpt_dir`` each time an applied GVT value
+        #: crosses a multiple of the interval (virtual time units).
+        #: All the per-message bookkeeping below is gated on this flag
+        #: so the recovery-off wire path stays exactly as lean as before.
+        self.ckpt_interval = ckpt_interval
+        self.ckpt_dir = ckpt_dir
+        self.recovery = ckpt_interval is not None and ckpt_dir is not None
+        self.attempt = attempt
+        #: Parent-facing queue for CKPT notifications (None in tests).
+        self.control = control
+        #: Per-destination channel sequence of the last sent message.
+        self.send_seq: dict[int, int] = {}
+        #: Per-source channel sequence of the last received message.
+        self.recv_seq: dict[int, int] = {}
+        #: Append-ordered log of remote sends per destination:
+        #: ``(chan_seq, color, msg)``.  Pruned at every GVT application
+        #: (entries below the GVT can never need replay).
+        self.send_log: dict[int, list[tuple[int, int, object]]] = {}
+        #: Highest multiple of ``ckpt_interval`` already snapshotted.
+        self.ckpt_mark = 0
+        #: Checkpoints written / replayed messages ingested (visible to
+        #: tests and the worker summary).
+        self.ckpts_written = 0
+        self.replays_seen = 0
+        #: Injected-fault hook: ``os._exit`` once this many events have
+        #: been processed locally (None = disarmed).
+        self.exit_at: int | None = None
         #: Live-status base path; each GVT application refreshes this
         #: node's single-line JSON snapshot (``<base>.node<i>``, written
         #: atomically) for ``tools/tw_top.py`` to tail.
@@ -192,9 +334,22 @@ class NodeLoop:
 
     # -- plumbing ------------------------------------------------------
     def flush_outbox(self) -> None:
+        if self.recovery:
+            # Recovery wire format: each MSG carries (src, chan_seq) and
+            # is logged so a restart can replay exactly the in-flight
+            # tail of this channel.  The log lives *inside* this node's
+            # checkpoints — a crash can never lose it.
+            for dest, msg in self.engine.outbox:
+                color = self.clerk.note_send(msg.time)
+                seq = self.send_seq.get(dest, 0) + 1
+                self.send_seq[dest] = seq
+                self.send_log.setdefault(dest, []).append((seq, color, msg))
+                _put_wire(self.inboxes[dest], (MSG, color, msg, self.node, seq))
+            self.engine.outbox.clear()
+            return
         for dest, msg in self.engine.outbox:
             color = self.clerk.note_send(msg.time)
-            self.inboxes[dest].put((MSG, color, msg))
+            _put_wire(self.inboxes[dest], (MSG, color, msg))
         self.engine.outbox.clear()
 
     def local_min(self) -> float:
@@ -216,12 +371,94 @@ class NodeLoop:
             self.done = True
         else:
             self.gvt = value
+        if self.recovery:
+            # A conclusive GVT of v proves no in-flight or future
+            # message carries time < v (the fossil-collection
+            # invariant), so logged sends below v can never fall in a
+            # replay window — prune them here to keep the log bounded.
+            for dest, entries in self.send_log.items():
+                self.send_log[dest] = [
+                    e for e in entries if e[2].time >= value
+                ]
+            if value != T_INF:
+                crossed = int(value // self.ckpt_interval)
+                if crossed > self.ckpt_mark:
+                    self.ckpt_mark = crossed
+                    self.write_checkpoint(cid, value)
         if self.tracer is not None:
             self.tracer.emit(
                 "inbox_depth", depth=self._inbox_depth(), gvt=value, cid=cid
             )
         if self.status_path is not None:
             self.write_status()
+
+    # -- crash-recovery checkpointing ----------------------------------
+    def write_checkpoint(self, cid: int, gvt: float) -> None:
+        """Snapshot this node's full state as its file of epoch *cid*.
+
+        Every node applies the identical GVT broadcast sequence, so this
+        fires at the same cid ring-wide and the N files form a
+        consistent epoch.  The loop-level dict captures everything the
+        engine snapshot does not: GVT/clerk state, channel cursors and
+        the send log (in-flight replay), and the initiator counters.
+        """
+        t0 = time.perf_counter()
+        payload = {
+            "node": self.node,
+            "cid": cid,
+            "gvt": gvt,
+            "engine": self.engine.snapshot_state(),
+            "loop": self.snapshot_loop(),
+        }
+        path = recovery_mod.ckpt_path(self.ckpt_dir, self.node, cid)
+        nbytes = recovery_mod.write_checkpoint(path, payload)
+        self.ckpts_written += 1
+        secs = time.perf_counter() - t0
+        if self.tracer is not None:
+            self.tracer.emit(
+                "ckpt", cid=cid, gvt=gvt, bytes=nbytes, secs=round(secs, 6)
+            )
+        if self.control is not None:
+            self.control.put((CKPT, self.node, cid, gvt))
+
+    def snapshot_loop(self) -> dict:
+        """The ``loop`` dict of :meth:`write_checkpoint` (test hook)."""
+        return {
+            "gvt": self.gvt,
+            "since_gvt": self.since_gvt,
+            "gvt_rounds_seen": self.gvt_rounds_seen,
+            "busy": self.busy,
+            "recv_busy": self.recv_busy,
+            "next_cid": self.next_cid,
+            "gvt_computations": self.gvt_computations,
+            "clerk": self.clerk,
+            "send_seq": self.send_seq,
+            "recv_seq": self.recv_seq,
+            "send_log": self.send_log,
+            "ckpt_mark": self.ckpt_mark,
+        }
+
+    def restore_loop(self, snap: dict, *, cid_base: int) -> None:
+        """Adopt a snapshotted loop state on a respawned node.
+
+        ``cid_base`` rebases the initiator's computation-id counter
+        above every color any restored clerk knows (stale colors would
+        poison the fresh ring's white accounting).  ``active_cid`` needs
+        no restoring: the initiator concludes a computation *before*
+        applying its GVT, so a checkpoint can never capture one open.
+        """
+        self.gvt = snap["gvt"]
+        self.since_gvt = snap["since_gvt"]
+        self.gvt_rounds_seen = snap["gvt_rounds_seen"]
+        self.busy = snap["busy"]
+        self.recv_busy = snap["recv_busy"]
+        self.gvt_computations = snap["gvt_computations"]
+        self.clerk = snap["clerk"]
+        self.send_seq = snap["send_seq"]
+        self.recv_seq = snap["recv_seq"]
+        self.send_log = snap["send_log"]
+        self.ckpt_mark = snap["ckpt_mark"]
+        self.next_cid = max(snap["next_cid"], cid_base)
 
     def _inbox_depth(self) -> int | None:
         try:
@@ -282,7 +519,7 @@ class NodeLoop:
                 )
             for other in range(self.num_nodes):
                 if other != self.node:
-                    self.inboxes[other].put((GVT, token.cid, value))
+                    _put_wire(self.inboxes[other], (GVT, token.cid, value))
             self.active_cid = 0
             self.apply_gvt(token.cid, value)
         else:
@@ -294,7 +531,9 @@ class NodeLoop:
             self._round_trips += 1
             fresh = GvtToken(cid=token.cid)
             self.clerk.fold_token(fresh, self.local_min())
-            self.inboxes[(self.node + 1) % self.num_nodes].put((TOKEN, fresh))
+            _put_wire(
+                self.inboxes[(self.node + 1) % self.num_nodes], (TOKEN, fresh)
+            )
 
     def maybe_initiate(self) -> None:
         """Initiator: start a GVT computation when one is due.
@@ -319,13 +558,24 @@ class NodeLoop:
             if self.num_nodes == 1:
                 self.conclude(token)
             else:
-                self.inboxes[1].put((TOKEN, token))
+                _put_wire(self.inboxes[1], (TOKEN, token))
 
     # -- wire dispatch -------------------------------------------------
     def handle(self, item) -> None:
         tag = item[0]
         if tag == MSG:
-            _, color, msg = item
+            # Recovery-on MSGs trail (src, chan_seq); dispatch on length
+            # so the recovery-off tuple stays the 3 elements it was.
+            if len(item) == 5:
+                _, color, msg, src, seq = item
+                # Monotonic cursor: a parent-injected replay can land
+                # *after* the restored sender's first fresh message, so
+                # a plain assignment could regress the cursor and a
+                # later restart would replay a received message twice.
+                if seq > self.recv_seq.get(src, 0):
+                    self.recv_seq[src] = seq
+            else:
+                _, color, msg = item
             self.clerk.note_receive(color)
             self.engine.handle_remote(msg)
             self.flush_outbox()  # a straggler's rollback emits anti-messages
@@ -335,11 +585,23 @@ class NodeLoop:
                 self.conclude(token)  # the round came home
             else:
                 self.clerk.fold_token(token, self.local_min())
-                self.inboxes[(self.node + 1) % self.num_nodes].put(
-                    (TOKEN, token)
+                _put_wire(
+                    self.inboxes[(self.node + 1) % self.num_nodes],
+                    (TOKEN, token),
                 )
         elif tag == GVT:
             self.apply_gvt(item[1], item[2])
+        elif tag == RESUME:
+            # Parent-replayed in-flight message of the restored epoch:
+            # identical to receiving the original MSG, including the
+            # clerk accounting its color deserves.
+            _, src, seq, color, msg = item
+            if seq > self.recv_seq.get(src, 0):
+                self.recv_seq[src] = seq
+            self.replays_seen += 1
+            self.clerk.note_receive(color)
+            self.engine.handle_remote(msg)
+            self.flush_outbox()
         else:  # pragma: no cover - defensive
             raise SimulationError(
                 f"node {self.node}: unknown wire item {item!r}"
@@ -368,6 +630,13 @@ class NodeLoop:
             self.busy += time.perf_counter() - t0
             worked += 1
             self.since_gvt += 1
+            if (
+                self.exit_at is not None
+                and self.engine.counters["events"] >= self.exit_at
+            ):
+                # Injected mid-run crash (exit-at fault): die exactly
+                # like a segfaulted worker would — no report, no flush.
+                os._exit(13)
         return worked
 
     def run(self) -> None:
@@ -403,15 +672,23 @@ def _worker_main(
     trace_base: str | None,
     trace_epoch: float,
     status_base: str | None = None,
+    recovery: dict | None = None,
 ) -> None:
-    """Entry point of one node process."""
+    """Entry point of one node process.
+
+    *recovery* (set iff checkpointing is on) carries ``attempt``,
+    ``interval``, ``dir``, and — on a restart — this node's restore
+    ``payload`` plus the ring-wide ``cid_base``.
+    """
+    attempt = recovery["attempt"] if recovery else 0
     try:
-        if _apply_startup_faults(node, inboxes):
+        if _apply_startup_faults(node, inboxes, attempt):
             return
         _run_node(
             node, num_nodes, circuit, assignment, stimulus,
             optimism_window, gvt_interval, max_events,
             inboxes, result_queue, trace_base, trace_epoch, status_base,
+            recovery,
         )
     except BaseException:  # noqa: BLE001 - ship the diagnosis to the parent
         result_queue.put((ERROR, node, traceback.format_exc()))
@@ -431,12 +708,15 @@ def _run_node(
     trace_base: str | None,
     trace_epoch: float,
     status_base: str | None = None,
+    recovery: dict | None = None,
 ) -> None:
     start = time.perf_counter()
+    attempt = recovery["attempt"] if recovery else 0
     tracer = None
     if trace_base is not None:
         tracer = TraceWriter(
-            shard_path(trace_base, node), node=node, epoch=trace_epoch
+            shard_path(trace_base, node, attempt),
+            node=node, epoch=trace_epoch, attempt=attempt,
         )
     try:
         engine = NodeEngine(
@@ -444,12 +724,33 @@ def _run_node(
             optimism_window=optimism_window, max_events=max_events,
             tracer=tracer,
         )
-        engine.schedule_initial()
         loop = NodeLoop(
             node, num_nodes, engine, inboxes,
             gvt_interval=gvt_interval, tracer=tracer,
             status_path=status_base,
+            ckpt_interval=recovery["interval"] if recovery else None,
+            ckpt_dir=recovery["dir"] if recovery else None,
+            attempt=attempt,
+            control=result_queue if recovery else None,
         )
+        for mode, arg in _worker_faults(node, attempt):
+            if mode == "exit-at":
+                loop.exit_at = int(arg or 500)
+        if recovery and recovery.get("payload") is not None:
+            # Restart: adopt the restore epoch instead of the initial
+            # schedule (schedule_initial would double-inject stimulus
+            # the restored queues already carry).
+            payload = recovery["payload"]
+            engine.restore_state(payload["engine"])
+            loop.restore_loop(payload["loop"], cid_base=recovery["cid_base"])
+        else:
+            engine.schedule_initial()
+            if loop.recovery:
+                # Epoch 0: a complete restore point exists before any
+                # event is processed, so a crash at *any* moment —
+                # including before the first GVT-crossing checkpoint —
+                # leaves something to restart from.
+                loop.write_checkpoint(0, 0.0)
         loop.run()
         engine.check_quiescent()
         engine.flush_committed()
@@ -483,7 +784,7 @@ def _run_node(
     finally:
         if tracer is not None:
             tracer.close()
-    for mode, arg in _worker_faults(node):
+    for mode, arg in _worker_faults(node, attempt):
         if mode == "late-report":
             # The race the parent's grace period absorbs: a sibling can
             # report-and-exit long before this node's payload appears.
@@ -500,9 +801,24 @@ def _run_node(
                 "peak_history": engine.peak_history,
                 "gvt_rounds": loop.gvt_computations,
                 "pid": os.getpid(),
+                "ckpts": loop.ckpts_written,
+                "replays": loop.replays_seen,
             },
         )
     )
+
+
+class _AttemptFailure(Exception):
+    """Internal: one ring attempt lost node(s) but the run may restart.
+
+    ``reason`` is the exact message the error would have carried before
+    recovery existed, so a recovery-off run re-raises it verbatim.
+    """
+
+    def __init__(self, failed: set[int], reason: str) -> None:
+        super().__init__(reason)
+        self.failed = failed
+        self.reason = reason
 
 
 def _drain_queue(q) -> int:
@@ -521,16 +837,27 @@ class ProcessTimeWarpSimulator:
 
     Accepts the same (circuit, assignment, stimulus, machine) quadruple
     as the virtual backend.  The machine's ``num_nodes``,
-    ``gvt_interval`` and ``optimism_window`` govern the run; its cost
-    and network models are ignored (this backend measures real time).
-    Policies the process backend does not implement (lazy cancellation,
-    periodic checkpointing, LP migration) are rejected up front.
+    ``gvt_interval``, ``optimism_window`` and ``checkpoint_interval``
+    govern the run; its cost and network models are ignored (this
+    backend measures real time).  Policies the process backend does not
+    implement (lazy cancellation, LP migration) are rejected up front;
+    ``checkpoint_interval`` selects periodic consistent checkpointing,
+    which here drives crash-recovery epochs rather than rollback state
+    saving (the process backend always saves LP state incrementally).
+
+    With checkpointing on and ``max_restarts > 0``, a worker death or
+    error rolls the whole ring back to the last complete checkpoint
+    epoch and resumes (see the module docstring); once any single node
+    exhausts the restart budget the run degrades to the virtual backend
+    and the result carries ``degraded=True``.
 
     With ``trace_path`` set, every worker streams a JSONL trace shard
     (rollbacks, GVT rounds, inbox depth, busy/idle summary) and the
     parent merges the shards into ``trace_path`` ordered by
     ``(wall time, node)`` after a successful run; shards are left in
-    place on failure for post-mortem.
+    place on failure for post-mortem.  Restart attempts write separate
+    shards (``.r<k>`` suffix) and the merge keeps each node's newest
+    attempt only.
     """
 
     def __init__(
@@ -545,6 +872,9 @@ class ProcessTimeWarpSimulator:
         death_grace: float = _DEATH_GRACE,
         trace_path: str | None = None,
         status_path: str | None = None,
+        max_restarts: int = 0,
+        checkpoint_dir: str | None = None,
+        inbox_maxsize: int | None = None,
     ) -> None:
         if not circuit.frozen:
             raise SimulationError("circuit must be frozen")
@@ -561,12 +891,19 @@ class ProcessTimeWarpSimulator:
             raise ConfigError(
                 "process backend implements aggressive cancellation only"
             )
-        if machine.checkpoint_interval is not None:
-            raise ConfigError(
-                "process backend implements incremental state saving only"
-            )
         if machine.migration_threshold is not None:
             raise ConfigError("process backend does not migrate LPs")
+        if max_restarts < 0:
+            raise ConfigError("max_restarts must be >= 0")
+        if max_restarts > 0 and machine.checkpoint_interval is None:
+            raise ConfigError(
+                "max_restarts needs machine.checkpoint_interval: restarts "
+                "resume from periodic checkpoint epochs"
+            )
+        if machine.checkpoint_interval is not None and (
+            machine.checkpoint_interval <= 0
+        ):
+            raise ConfigError("checkpoint_interval must be positive")
         self.circuit = circuit
         self.assignment = assignment
         self.stimulus = stimulus
@@ -579,6 +916,16 @@ class ProcessTimeWarpSimulator:
         #: ``<status_path>.node<i>`` with a one-line JSON snapshot at
         #: every GVT application (``tools/tw_top.py`` tails them).
         self.status_path = status_path
+        #: Restart budget **per node** (0 = fail-stop, the default) and
+        #: where epoch files live (None = a TemporaryDirectory for the
+        #: run; set it to keep epochs for post-mortem).
+        self.max_restarts = max_restarts
+        self.checkpoint_dir = checkpoint_dir
+        #: Bound on each node's inbox (None = unbounded).  Senders use
+        #: bounded-retry ``put_nowait`` with exponential backoff, so a
+        #: full inbox degrades into a diagnosable node failure instead
+        #: of a silent distributed deadlock.
+        self.inbox_maxsize = inbox_maxsize
         #: OS pid of each worker after a run — evidence the simulation
         #: really executed on separate processes.
         self.worker_pids: dict[int, int] = {}
@@ -586,6 +933,11 @@ class ProcessTimeWarpSimulator:
         self.worker_exitcodes: dict[int, int | None] = {}
         #: Records in the merged trace (0 when tracing is off).
         self.trace_records = 0
+        #: Ring restarts performed, and one dict per restart (failed
+        #: nodes, restore epoch, replay count, downtime) — also merged
+        #: into the trace as parent ``restart`` records.
+        self.restarts = 0
+        self.restart_log: list[dict] = []
 
     # ------------------------------------------------------------------
     def _make_results_queue(self, ctx):
@@ -594,33 +946,162 @@ class ProcessTimeWarpSimulator:
 
     # ------------------------------------------------------------------
     def run(self) -> TimeWarpResult:
-        """Simulate to quiescence across the worker ring."""
+        """Simulate to quiescence across the worker ring.
+
+        With checkpointing on and a restart budget, worker failures
+        roll the ring back to the last complete epoch and resume; once
+        any single node exhausts its budget the run degrades to the
+        virtual backend (``result.degraded``).  The wall-clock timeout
+        spans the whole run, restarts included.
+        """
         n = self.machine.num_nodes
         ctx = mp.get_context(
             "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         )
-        inboxes = [ctx.Queue() for _ in range(n)]
-        results = self._make_results_queue(ctx)
+        recovery_on = self.machine.checkpoint_interval is not None
         trace_epoch = time.time()
-        workers = [
-            ctx.Process(
-                target=_worker_main,
-                args=(
-                    node, n, self.circuit, list(self.assignment.assignment),
-                    self.stimulus, self.machine.optimism_window,
-                    self.machine.gvt_interval, self.max_events,
-                    inboxes, results, self.trace_path, trace_epoch,
-                    self.status_path,
-                ),
-                daemon=True,
-                name=f"timewarp-node-{node}",
+        deadline = time.monotonic() + self.timeout
+        self.restarts = 0
+        self.restart_log = []
+        restarts_by_node: dict[int, int] = {}
+        ckpt_tmp = None
+        ckpt_dir = None
+        if recovery_on:
+            if self.checkpoint_dir is None:
+                ckpt_tmp = tempfile.TemporaryDirectory(prefix="tw-ckpt-")
+                ckpt_dir = ckpt_tmp.name
+            else:
+                ckpt_dir = self.checkpoint_dir
+                os.makedirs(ckpt_dir, exist_ok=True)
+        attempt = 0
+        resume: dict | None = None
+        try:
+            while True:
+                try:
+                    payloads = self._run_attempt(
+                        ctx, n, attempt, trace_epoch, deadline, ckpt_dir,
+                        resume,
+                    )
+                    break
+                except _AttemptFailure as failure:
+                    if not recovery_on or self.max_restarts == 0:
+                        # Fail-stop (the pre-recovery contract): same
+                        # error, same message.
+                        raise SimulationError(failure.reason) from None
+                    if any(
+                        restarts_by_node.get(i, 0) >= self.max_restarts
+                        for i in failure.failed
+                    ):
+                        return self._degrade(failure)
+                    down_t0 = time.monotonic()
+                    resume = self._prepare_resume(ckpt_dir, n)
+                    if resume is None:
+                        # No complete epoch on disk — a node died before
+                        # writing even its epoch-0 file (startup fault).
+                        # Nothing of value is lost: restart the whole
+                        # run from scratch, wiping leftovers so a
+                        # partial old-lineage epoch can never pair with
+                        # the fresh lineage's files.
+                        recovery_mod.drop_epochs_after(ckpt_dir, -1)
+                    for i in failure.failed:
+                        restarts_by_node[i] = restarts_by_node.get(i, 0) + 1
+                    attempt += 1
+                    self.restarts += 1
+                    self.restart_log.append(
+                        {
+                            "ts": round(time.time() - trace_epoch, 6),
+                            "node": -1,
+                            "seq": self.restarts - 1,
+                            "kind": "restart",
+                            "failed": sorted(failure.failed),
+                            "to_attempt": attempt,
+                            "epoch": resume["cid"] if resume else None,
+                            "gvt": resume["gvt"] if resume else None,
+                            "replayed": resume["replayed"] if resume else 0,
+                            "downtime": round(
+                                time.monotonic() - down_t0, 6
+                            ),
+                        }
+                    )
+        finally:
+            if ckpt_tmp is not None:
+                ckpt_tmp.cleanup()
+        if self.trace_path is not None:
+            self.trace_records = merge_shards(
+                self.trace_path,
+                [
+                    shard_path(self.trace_path, node, k)
+                    for node in range(n)
+                    for k in range(attempt + 1)
+                ],
+                extra=self.restart_log or None,
             )
-            for node in range(n)
+        return self._assemble(payloads)
+
+    # ------------------------------------------------------------------
+    def _run_attempt(
+        self,
+        ctx,
+        n: int,
+        attempt: int,
+        trace_epoch: float,
+        deadline: float,
+        ckpt_dir: str | None,
+        resume: dict | None,
+    ) -> dict[int, dict]:
+        """One ring attempt: spawn, (re)play, collect; returns payloads.
+
+        Raises :class:`_AttemptFailure` on a restartable node failure
+        (death without a report, an ERROR report) and
+        :class:`SimulationError` on a terminal one (timeout, unclean
+        exit after reporting).
+        """
+        inboxes = [
+            ctx.Queue(self.inbox_maxsize)
+            if self.inbox_maxsize is not None
+            else ctx.Queue()
+            for _ in range(n)
         ]
+        results = self._make_results_queue(ctx)
+        workers = []
+        for node in range(n):
+            recovery = None
+            if ckpt_dir is not None:
+                recovery = {
+                    "attempt": attempt,
+                    "interval": self.machine.checkpoint_interval,
+                    "dir": ckpt_dir,
+                    "payload": resume["payloads"][node] if resume else None,
+                    "cid_base": resume["cid_base"] if resume else 0,
+                }
+            workers.append(
+                ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        node, n, self.circuit,
+                        list(self.assignment.assignment),
+                        self.stimulus, self.machine.optimism_window,
+                        self.machine.gvt_interval, self.max_events,
+                        inboxes, results, self.trace_path, trace_epoch,
+                        self.status_path, recovery,
+                    ),
+                    daemon=True,
+                    name=f"timewarp-node-{node}",
+                )
+            )
         for worker in workers:
             worker.start()
+        if resume is not None:
+            # In-flight replay, injected after the workers start so a
+            # bounded inbox can drain while it fills.  No GVT round can
+            # conclude before every replayed message lands (the restored
+            # clerks count them as sent-not-received whites), so no
+            # checkpoint can cut this window in half.
+            for dest, items in resume["replays"].items():
+                for item in items:
+                    _put_wire(inboxes[dest], item)
         payloads: dict[int, dict] = {}
-        deadline = time.monotonic() + self.timeout
+        epoch_nodes: dict[int, set[int]] = {}
         grace_until: float | None = None
         try:
             while len(payloads) < n:
@@ -658,16 +1139,29 @@ class ProcessTimeWarpSimulator:
                         f"node {i} (exitcode {code})"
                         for i, code in sorted(dead.items())
                     )
-                    raise SimulationError(
+                    raise _AttemptFailure(
+                        set(dead),
                         "node process(es) died without reporting a "
-                        f"result: {detail}"
+                        f"result: {detail}",
                     ) from None
                 grace_until = None
                 tag = item[0]
                 if tag == ERROR:
-                    raise SimulationError(
-                        f"node {item[1]} failed:\n{item[2]}"
+                    raise _AttemptFailure(
+                        {item[1]}, f"node {item[1]} failed:\n{item[2]}"
                     )
+                if tag == CKPT:
+                    # Epoch bookkeeping: once every node has written its
+                    # file for a cid, that epoch is the freshest restart
+                    # point and everything older is garbage.
+                    _, ck_node, cid, _gvt = item
+                    nodes_seen = epoch_nodes.setdefault(cid, set())
+                    nodes_seen.add(ck_node)
+                    if len(nodes_seen) == n:
+                        recovery_mod.drop_epochs_before(ckpt_dir, cid)
+                        for old in [c for c in epoch_nodes if c < cid]:
+                            del epoch_nodes[old]
+                    continue
                 payloads[item[1]] = item[2]
         except BaseException:
             self._shutdown(workers, inboxes, results, patience=_ERROR_PATIENCE)
@@ -684,12 +1178,50 @@ class ProcessTimeWarpSimulator:
             raise SimulationError(
                 f"worker(s) exited uncleanly after reporting: {detail}"
             )
-        if self.trace_path is not None:
-            self.trace_records = merge_shards(
-                self.trace_path,
-                [shard_path(self.trace_path, node) for node in range(n)],
-            )
-        return self._assemble(payloads)
+        return payloads
+
+    # ------------------------------------------------------------------
+    def _prepare_resume(self, ckpt_dir: str, n: int) -> dict | None:
+        """Load the restart point: newest complete epoch + its replays.
+
+        Epochs newer than the restart point are deleted first — they
+        belong to the crashed lineage, the resumed ring will rewrite
+        them, and an epoch mixing files from two lineages would pair
+        incompatible message-uid streams.
+        """
+        found = recovery_mod.latest_complete_epoch(ckpt_dir, n)
+        if found is None:  # pragma: no cover - epoch 0 always written
+            return None
+        cid, payloads = found
+        recovery_mod.drop_epochs_after(ckpt_dir, cid)
+        replays = recovery_mod.compute_replays(payloads)
+        return {
+            "cid": cid,
+            "gvt": payloads[0]["gvt"],
+            "payloads": payloads,
+            "replays": replays,
+            "cid_base": recovery_mod.resume_cid_base(payloads),
+            "replayed": sum(len(items) for items in replays.values()),
+        }
+
+    # ------------------------------------------------------------------
+    def _degrade(self, failure: _AttemptFailure) -> TimeWarpResult:
+        """Finish on the virtual backend — the restart budget is spent.
+
+        The virtual kernel recomputes the same committed results from
+        scratch (rollback makes them interleaving-independent, so they
+        match what the ring would have produced); slower and
+        single-process, but the simulation completes instead of dying.
+        """
+        from repro.warped.kernel import TimeWarpSimulator
+
+        result = TimeWarpSimulator(
+            self.circuit, self.assignment, self.stimulus, self.machine,
+            max_events=self.max_events,
+        ).run()
+        result.degraded = True
+        result.restarts = self.restarts
+        return result
 
     # ------------------------------------------------------------------
     def _shutdown(self, workers, inboxes, results, *, patience: float) -> None:
@@ -764,4 +1296,5 @@ class ProcessTimeWarpSimulator:
                 for (gate, cycle), value in captures.items()
             ),
             backend="process",
+            restarts=self.restarts,
         )

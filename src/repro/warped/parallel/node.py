@@ -321,6 +321,60 @@ class NodeEngine:
                 )
 
     # ------------------------------------------------------------------
+    # checkpoint/restart (see repro.warped.parallel.recovery)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Everything a restarted worker needs to resume this engine.
+
+        The returned dict references live structures; the caller must
+        serialize it synchronously (the checkpoint writer pickles it in
+        the same call, before the event loop runs again).
+        """
+        return {
+            "lps": {
+                index: (
+                    list(lp._fanin_values),
+                    lp.output_value,
+                    lp.last_key,
+                    lp.processed,
+                    lp.emission_seq,
+                )
+                for index, lp in self.lps.items()
+            },
+            "queue": [entry[2] for entry in self.queue._list],
+            "waiting_antis": self._waiting_antis,
+            "capture_log": self.capture_log,
+            "counters": self.counters,
+            "stats": self.stats,
+            "peak_history": self.peak_history,
+            "uid_next": self._uid_next,
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        """Rebuild this (freshly constructed) engine from a snapshot.
+
+        The caller must NOT have run :meth:`schedule_initial` — the
+        snapshot's pending queue already holds whatever of the initial
+        schedule was still unprocessed at the epoch.
+        """
+        for index, (fanin, out, last_key, processed, eseq) in snap["lps"].items():
+            lp = self.lps[index]
+            lp._fanin_values = fanin
+            lp.output_value = out
+            lp.last_key = last_key
+            lp.processed = processed
+            lp.processed_uids = {record.msg.uid for record in processed}
+            lp.emission_seq = eseq
+        for msg in snap["queue"]:
+            self.queue.push(msg)
+        self._waiting_antis = snap["waiting_antis"]
+        self.capture_log = snap["capture_log"]
+        self.counters = snap["counters"]
+        self.stats = snap["stats"]
+        self.peak_history = snap["peak_history"]
+        self._uid_next = snap["uid_next"]
+
+    # ------------------------------------------------------------------
     def check_quiescent(self) -> None:
         """Invariant checks once GVT reached +inf."""
         if self._waiting_antis:

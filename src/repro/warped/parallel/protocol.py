@@ -23,6 +23,14 @@ When a round returns to the initiator with ``count == 0``,
 initiator circulates another round of the same computation.  A GVT of
 ``+inf`` proves global quiescence (no pending events anywhere, nothing
 in flight) and doubles as the shutdown signal.
+
+Crash recovery rides on the same broadcast: when checkpointing is on,
+every node snapshots its state upon *applying* a GVT value that crosses
+the configured virtual-time interval, so the N per-node snapshots of one
+computation id form a consistent epoch (see
+:mod:`repro.warped.parallel.recovery`).  ``CKPT`` notifies the parent of
+each written snapshot; ``RESUME`` is how the parent re-injects in-flight
+messages when it restarts the ring from an epoch.
 """
 
 from __future__ import annotations
@@ -30,11 +38,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 #: Wire tags (first element of every inter-process tuple).
-MSG = "msg"        # ("msg", color, Message)           node -> node
+MSG = "msg"        # ("msg", color, Message[, src, chan_seq])  node -> node
 TOKEN = "token"    # ("token", GvtToken)               node -> next node
 GVT = "gvt"        # ("gvt", cid, value)               node 0 -> everyone
 DONE = "done"      # ("done", node, payload)           node -> parent
 ERROR = "error"    # ("error", node, traceback_str)    node -> parent
+#: Recovery tags.  With checkpointing enabled every ``MSG`` grows a
+#: ``(src, chan_seq)`` tail: the sender's node id and a per-(src, dest)
+#: channel sequence number, which is what lets a restart replay exactly
+#: the messages that were in flight across the restore cut.
+CKPT = "ckpt"      # ("ckpt", node, cid, gvt)          node -> parent
+RESUME = "resume"  # ("resume", src, chan_seq, color, Message)  parent -> node
 
 #: Virtual-time infinity (quiescence) on the wire.
 T_INF = float("inf")

@@ -93,6 +93,13 @@ class TimeWarpResult:
     #: deterministic modelled machine) or "process" (real OS processes,
     #: measured wall-clock).
     backend: str = "virtual"
+    #: Process backend only: ring restarts performed while recovering
+    #: from worker crashes (0 on a fault-free run).
+    restarts: int = 0
+    #: True when the process backend exhausted a node's restart budget
+    #: and finished the run on the virtual backend instead.  Committed
+    #: results are still exact; timing/counters reflect the fallback.
+    degraded: bool = False
 
     @property
     def events_committed(self) -> int:
@@ -110,12 +117,17 @@ class TimeWarpResult:
 
     def summary(self) -> str:
         """One-line human-readable digest."""
-        return (
+        line = (
             f"{self.circuit_name} [{self.algorithm} x{self.num_nodes}] "
             f"T={self.execution_time:.2f}s ev={self.events_processed} "
             f"rb={self.rollbacks} ({self.events_rolled_back} ev) "
             f"msg={self.app_messages} eff={self.efficiency:.2f}"
         )
+        if self.restarts:
+            line += f" restarts={self.restarts}"
+        if self.degraded:
+            line += " DEGRADED(virtual fallback)"
+        return line
 
 
 def render_utilization_timeline(

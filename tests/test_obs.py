@@ -159,6 +159,35 @@ class TestTracer:
         merge_shards(base, [shard_path(base, 0)], keep_shards=True)
         assert os.path.exists(shard_path(base, 0))
 
+    def test_merge_keeps_only_each_nodes_newest_attempt(self, tmp_path):
+        """Regression: a restarted run used to merge every attempt's
+        shard, double-counting the pre-crash records.  Node 0 restarted
+        once (attempts 0 and 1), node 1 never did — the merge must keep
+        node 0's attempt-1 records, node 1's attempt-0 records, and the
+        parent's restart extras (which carry no ``attempt``)."""
+        base = str(tmp_path / "r.jsonl")
+        with TraceWriter(shard_path(base, 0), node=0, epoch=0.0) as w:
+            w.emit("stale")
+        with TraceWriter(shard_path(base, 0, 1), node=0, epoch=0.0,
+                         attempt=1) as w:
+            w.emit("fresh")
+        with TraceWriter(shard_path(base, 1), node=1, epoch=0.0) as w:
+            w.emit("survivor")
+        count = merge_shards(
+            base,
+            [shard_path(base, 0), shard_path(base, 0, 1), shard_path(base, 1)],
+            extra=[{"ts": 0.1, "node": -1, "seq": 0, "kind": "restart",
+                    "to_attempt": 1}],
+        )
+        assert count == 3
+        records = read_trace(base)
+        assert sorted(r["kind"] for r in records) == [
+            "fresh", "restart", "survivor",
+        ]
+        by_kind = {r["kind"]: r for r in records}
+        assert by_kind["fresh"]["attempt"] == 1
+        assert "attempt" not in by_kind["survivor"]  # attempt 0: unstamped
+
 
 # ----------------------------------------------------------------------
 # engine emission contracts

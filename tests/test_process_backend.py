@@ -246,10 +246,17 @@ class TestProcessBackend:
 
         with pytest.raises(ConfigError, match="aggressive"):
             build(cancellation="lazy")
-        with pytest.raises(ConfigError, match="incremental"):
-            build(checkpoint_interval=8)
         with pytest.raises(ConfigError, match="migrate"):
             build(migration_threshold=1.5)
+        # checkpoint_interval is no longer rejected: it now selects
+        # crash-recovery checkpoint epochs (see test_recovery.py).
+        build(checkpoint_interval=8)
+        # ... but a restart budget without checkpoints to restart from is.
+        with pytest.raises(ConfigError, match="max_restarts"):
+            ProcessTimeWarpSimulator(
+                circuit, assignment, stimulus,
+                VirtualMachine(num_nodes=2), max_restarts=1,
+            )
 
     def test_rejects_node_count_mismatch(self, s27_setup):
         circuit, stimulus, _ = s27_setup
@@ -385,3 +392,56 @@ class TestWorkerDeath:
         assert _worker_faults(3) == []
         monkeypatch.delenv("REPRO_TW_FAULT")
         assert _worker_faults(0) == []
+
+    def test_fault_spec_without_mode_is_config_error(self, monkeypatch):
+        """Regression: ``REPRO_TW_FAULT=0`` used to IndexError."""
+        from repro.warped.parallel.backend import _worker_faults
+
+        monkeypatch.setenv("REPRO_TW_FAULT", "0")
+        with pytest.raises(ConfigError, match=r"'0' has no mode"):
+            _worker_faults(0)
+        # A trailing colon with nothing after it is equally modeless.
+        monkeypatch.setenv("REPRO_TW_FAULT", "1:")
+        with pytest.raises(ConfigError, match="has no mode"):
+            _worker_faults(1)
+
+    def test_fault_spec_non_integer_node_is_config_error(self, monkeypatch):
+        """Regression: ``REPRO_TW_FAULT=x:raise`` used to ValueError."""
+        from repro.warped.parallel.backend import _worker_faults
+
+        monkeypatch.setenv("REPRO_TW_FAULT", "x:raise")
+        with pytest.raises(ConfigError, match=r"'x:raise' has a non-integer"):
+            _worker_faults(0)
+
+    def test_fault_spec_unknown_mode_is_config_error(self, monkeypatch):
+        from repro.warped.parallel.backend import _worker_faults
+
+        monkeypatch.setenv("REPRO_TW_FAULT", "0:explode")
+        with pytest.raises(ConfigError, match="unknown mode 'explode'"):
+            _worker_faults(0)
+
+    def test_fault_spec_attempt_gating_and_persistence(self, monkeypatch):
+        """Faults fire on attempt 0 only unless re-armed with ``*``."""
+        from repro.warped.parallel.backend import _worker_faults
+
+        monkeypatch.setenv("REPRO_TW_FAULT", "0:exit:3,1:exit-at*:200")
+        assert _worker_faults(0, attempt=0) == [("exit", "3")]
+        assert _worker_faults(0, attempt=1) == []
+        assert _worker_faults(1, attempt=0) == [("exit-at", "200")]
+        assert _worker_faults(1, attempt=3) == [("exit-at", "200")]
+
+    def test_flood_fault_terminates_against_bounded_inbox(
+        self, s27_setup, monkeypatch
+    ):
+        """Regression: the flood injector used blocking ``put`` and could
+        deadlock itself against a full bounded queue.  With a tiny
+        ``inbox_maxsize`` the run must still terminate (the injector
+        drops instead of blocking)."""
+        monkeypatch.setenv("REPRO_TW_FAULT", "0:flood:0")
+        sim = self._sim(
+            s27_setup, timeout=5.0, death_grace=0.5, inbox_maxsize=64
+        )
+        start = time.monotonic()
+        with pytest.raises(SimulationError):
+            sim.run()
+        assert time.monotonic() - start < 20

@@ -36,6 +36,8 @@ REQUIRED: dict[str, set[str]] = {
         "busy", "wall", "events", "rollbacks", "rolled_back", "antis",
         "sent_remote", "sent_local", "gvt_rounds", "num_lps", "attr",
     },
+    "ckpt": {"cid", "gvt", "bytes", "secs"},
+    "restart": {"failed", "to_attempt", "epoch", "gvt", "replayed", "downtime"},
 }
 
 
@@ -105,6 +107,23 @@ def test_process_schema(s27, tmp_path):
     for record in records:
         if record["kind"] == "rollback" and record["cause_kind"] == "anti":
             assert record["cause_uid"] is not None
+
+
+def test_recovery_schema(s27, monkeypatch, tmp_path):
+    """A crashed-and-recovered run's trace keeps the contract, and the
+    recovery kinds (``ckpt``, ``restart``) carry their fields."""
+    path = str(tmp_path / "recovered.jsonl")
+    stimulus = RandomStimulus(s27, num_cycles=20, period=20, seed=5)
+    assignment = get_partitioner("Multilevel", seed=3).partition(s27, 2)
+    monkeypatch.setenv("REPRO_TW_FAULT", "1:exit-at:60")
+    result = ProcessTimeWarpSimulator(
+        s27, assignment, stimulus,
+        VirtualMachine(num_nodes=2, gvt_interval=32, checkpoint_interval=60),
+        trace_path=path, max_restarts=2,
+    ).run()
+    assert result.restarts == 1
+    seen = _assert_schema(read_trace(path), "process+recovery")
+    assert {"ckpt", "restart"} <= seen
 
 
 def test_schema_violation_is_caught(tmp_path):
