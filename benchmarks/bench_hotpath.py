@@ -13,9 +13,10 @@ deferred to :func:`build_world` so ``--list`` stays instant.
 
 Workloads:
 
-- ``s27``            — the real embedded netlist, all three engines
-                       (sequential, virtual Time Warp, process backend);
-                       small enough for CI smoke.
+- ``s27``            — the real embedded netlist, all four engines
+                       (sequential, virtual Time Warp, process backend
+                       on both wire transports); small enough for CI
+                       smoke.
 - ``synthetic-s5378``— the scaled synthetic s5378 equivalent, sequential
                        + virtual Time Warp; the mid-size CI guard.
 - ``s9234-table2-8`` — the paper's Table 2 cell this PR's acceptance
@@ -37,9 +38,10 @@ from repro.warped.kernel import TimeWarpSimulator
 from repro.warped.machine import VirtualMachine
 from repro.warped.parallel.backend import ProcessTimeWarpSimulator
 
-#: Engines a workload may request. "process" spawns real OS processes
-#: and measures real wall-clock; the other two are single-process.
-ENGINES = ("sequential", "timewarp", "process")
+#: Engines a workload may request. "process" (queue transport) and
+#: "process-shm" (shared-memory ring transport) spawn real OS processes
+#: and measure real wall-clock; the other two are single-process.
+ENGINES = ("sequential", "timewarp", "process", "process-shm")
 
 
 @dataclass(frozen=True)
@@ -76,7 +78,7 @@ WORKLOADS: dict[str, Workload] = {
             partitioner="Multilevel",
             partition_seed=3,
             k=2,
-            engines=("sequential", "timewarp", "process"),
+            engines=("sequential", "timewarp", "process", "process-shm"),
             machine={"gvt_interval": 128, "optimism_window": 100},
         ),
         Workload(
@@ -161,9 +163,10 @@ def run_engine(engine: str, workload: Workload, world: tuple) -> dict:
         simulator = TimeWarpSimulator(
             circuit, assignment, stimulus, _machine(workload)
         )
-    elif engine == "process":
+    elif engine in ("process", "process-shm"):
         simulator = ProcessTimeWarpSimulator(
-            circuit, assignment, stimulus, _machine(workload, process=True)
+            circuit, assignment, stimulus, _machine(workload, process=True),
+            transport="shm" if engine == "process-shm" else "queue",
         )
     else:
         raise ValueError(f"unknown engine {engine!r}")
@@ -193,10 +196,10 @@ def run_workload(workload: Workload, *, repeats: int = 3) -> dict:
             record = run_engine(engine, workload, world)
             # The single-process engines are deterministic: a varying
             # event count means the workload is not actually pinned.
-            # The process backend's count legitimately varies (real
-            # rollback races), so it is exempt.
+            # The process backends' counts legitimately vary (real
+            # rollback races), so they are exempt.
             if (
-                engine != "process"
+                not engine.startswith("process")
                 and best is not None
                 and record["events"] != best["events"]
             ):

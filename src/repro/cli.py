@@ -32,6 +32,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         choices=["virtual", "process"],
                         help="Time Warp substrate: modelled virtual machine "
                         "or real OS processes (default: env or virtual)")
+    parser.add_argument("--transport", default=None,
+                        choices=["queue", "shm"],
+                        help="process backend wire transport: portable "
+                        "multiprocessing queues or shared-memory rings "
+                        "with batched fixed-width records (default: env "
+                        "or queue)")
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="record a JSONL trace of every Time Warp run "
                         "(rollbacks, GVT rounds, queue depths); summarize "
@@ -67,6 +73,8 @@ def _runner(args: argparse.Namespace) -> ExperimentRunner:
         overrides["num_cycles"] = args.cycles
     if getattr(args, "backend", None) is not None:
         overrides["backend"] = args.backend
+    if getattr(args, "transport", None) is not None:
+        overrides["transport"] = args.transport
     if getattr(args, "trace", None) is not None:
         overrides["trace_path"] = args.trace
     if getattr(args, "live_status", None) is not None:

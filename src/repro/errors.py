@@ -61,5 +61,15 @@ class SimulationError(ReproError):
     """Event-driven simulation failed (sequential or Time Warp)."""
 
 
+class ProtocolError(ReproError):
+    """Malformed wire record on a process-backend transport.
+
+    Raised instead of a bare ``struct.error`` when a fixed-width record
+    is truncated, fails its checksum, carries an unknown tag, or a field
+    overflows the packed width — so transport corruption is always
+    diagnosable as such.
+    """
+
+
 class ConfigError(ReproError):
     """Invalid experiment or machine configuration."""

@@ -9,6 +9,8 @@ circuits (DESIGN.md §5). Environment overrides:
 - ``REPRO_CYCLES=200`` — explicit stimulus cycle count;
 - ``REPRO_BACKEND=process`` — run Time Warp on real OS processes
   instead of the modelled virtual machine;
+- ``REPRO_TW_TRANSPORT=shm`` — process-backend wire transport
+  (``queue`` or ``shm`` shared-memory rings);
 - ``REPRO_TRACE=path.jsonl`` — record a JSONL trace of every run
   (rollbacks, GVT rounds, queue depths; see :mod:`repro.obs`);
 - ``REPRO_STATUS=path`` — live per-node status snapshots (process
@@ -28,6 +30,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
 from repro.warped.machine import TimeWarpCostModel
+from repro.warped.parallel.transport import TRANSPORT_NAMES
 from repro.sim.cost_model import SequentialCostModel
 
 #: Circuits of the paper's Table 1, with the node counts Table 2 reports
@@ -75,6 +78,11 @@ class ExperimentConfig:
     #: modelled machine (the paper-reproduction default), "process" runs
     #: one OS process per node and reports measured wall-clock.
     backend: str = "virtual"
+    #: Wire transport of the process backend: "queue" (portable
+    #: multiprocessing.Queue inboxes) or "shm" (shared-memory rings of
+    #: struct-packed records with batched sends).  Ignored by the
+    #: virtual backend.
+    transport: str = "queue"
     #: JSONL trace destination (None disables tracing).  Every run the
     #: harness executes appends a distinct file derived from this base
     #: (first run gets the exact path; see ExperimentRunner.trace_path).
@@ -112,6 +120,11 @@ class ExperimentConfig:
             raise ConfigError(
                 f"backend must be 'virtual' or 'process', got {self.backend!r}"
             )
+        if self.transport not in TRANSPORT_NAMES:
+            raise ConfigError(
+                f"transport must be one of {sorted(TRANSPORT_NAMES)}, "
+                f"got {self.transport!r}"
+            )
         if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
             raise ConfigError("checkpoint_interval must be positive or None")
         if self.max_restarts < 0:
@@ -142,6 +155,10 @@ class ExperimentConfig:
             overrides["repetitions"] = int(os.environ["REPRO_REPS"])
         if "REPRO_BACKEND" in os.environ:
             overrides.setdefault("backend", os.environ["REPRO_BACKEND"])
+        if "REPRO_TW_TRANSPORT" in os.environ:
+            overrides.setdefault(
+                "transport", os.environ["REPRO_TW_TRANSPORT"]
+            )
         if "REPRO_TRACE" in os.environ:
             overrides.setdefault("trace_path", os.environ["REPRO_TRACE"])
         if "REPRO_STATUS" in os.environ:
@@ -165,7 +182,11 @@ class ExperimentConfig:
             if self.window_periods is None
             else f"{self.window_periods} period(s)"
         )
-        suffix = "" if self.backend == "virtual" else f" backend={self.backend}"
+        suffix = (
+            ""
+            if self.backend == "virtual"
+            else f" backend={self.backend} transport={self.transport}"
+        )
         return (
             f"scale={self.scale:g} cycles={self.num_cycles} "
             f"period={self.period} activity={self.activity:g} "

@@ -188,6 +188,7 @@ class ExperimentRunner:
                         status_path=self.config.status_path,
                         max_restarts=self.config.max_restarts,
                         checkpoint_dir=self.config.checkpoint_dir,
+                        transport=self.config.transport,
                     ).run()
                 elif trace_path is not None:
                     with TraceWriter(trace_path) as tracer:

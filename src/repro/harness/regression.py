@@ -55,11 +55,12 @@ def run_case(case: dict) -> list[str]:
         if captures is not None and captures != sequential.committed_captures:
             failures.append(f"{engine}: capture history diverged from sequential")
 
+    process_committed: dict[str, int] = {}
     for engine in case.get("engines", ("timewarp",)):
         if engine == "timewarp":
             machine = VirtualMachine(num_nodes=k, **machine_kwargs)
             result = TimeWarpSimulator(circuit, assignment, stimulus, machine).run()
-        elif engine == "process":
+        elif engine in ("process", "process-shm"):
             machine = VirtualMachine(
                 num_nodes=k,
                 **{
@@ -69,8 +70,10 @@ def run_case(case: dict) -> list[str]:
                 },
             )
             result = ProcessTimeWarpSimulator(
-                circuit, assignment, stimulus, machine
+                circuit, assignment, stimulus, machine,
+                transport="shm" if engine == "process-shm" else None,
             ).run()
+            process_committed[engine] = result.events_committed
         elif engine == "conservative":
             result = ConservativeSimulator(
                 circuit, assignment, stimulus, VirtualMachine(num_nodes=k)
@@ -78,6 +81,18 @@ def run_case(case: dict) -> list[str]:
         else:
             raise ValueError(f"unknown engine {engine!r} in case")
         check(engine, result)
+    if len(process_committed) == 2:
+        # Cross-transport determinism: rollback makes the *committed*
+        # event count interleaving-independent, so the queue and shm
+        # transports must agree on it exactly — any drift means a
+        # transport lost, duplicated, or misdecoded a message.
+        queue_n = process_committed["process"]
+        shm_n = process_committed["process-shm"]
+        if queue_n != shm_n:
+            failures.append(
+                "transports diverged: process committed "
+                f"{queue_n} events, process-shm {shm_n}"
+            )
     return failures
 
 

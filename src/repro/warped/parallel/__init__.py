@@ -7,6 +7,17 @@ See :mod:`repro.warped.parallel.backend` for the execution model and
 from repro.warped.parallel.backend import NodeLoop, ProcessTimeWarpSimulator
 from repro.warped.parallel.node import NodeEngine
 from repro.warped.parallel.protocol import GvtClerk, GvtToken
+from repro.warped.parallel.transport import (
+    QueueTransport,
+    SendBuffer,
+    ShmChannel,
+    ShmTransport,
+    Transport,
+    TRANSPORT_NAMES,
+    decode_record,
+    encode_record,
+    make_transport,
+)
 
 __all__ = [
     "GvtClerk",
@@ -14,4 +25,13 @@ __all__ = [
     "NodeEngine",
     "NodeLoop",
     "ProcessTimeWarpSimulator",
+    "QueueTransport",
+    "SendBuffer",
+    "ShmChannel",
+    "ShmTransport",
+    "Transport",
+    "TRANSPORT_NAMES",
+    "decode_record",
+    "encode_record",
+    "make_transport",
 ]

@@ -5,8 +5,13 @@ contract of the virtual :class:`~repro.warped.kernel.TimeWarpSimulator`
 but executes the simulation on **real OS processes**: one
 ``multiprocessing`` worker per node, each hosting its partition's LP
 cluster behind a :class:`~repro.warped.parallel.node.NodeEngine`.
-Signal and anti-messages travel over per-node ``multiprocessing``
-queues; GVT is computed by the colored token ring of
+Signal and anti-messages travel over per-node inboxes built by a
+pluggable :class:`~repro.warped.parallel.transport.Transport` —
+``queue`` (one ``multiprocessing.Queue`` per node, the portable
+default) or ``shm`` (shared-memory rings carrying struct-packed
+fixed-width records, with per-destination send batching and
+anti-message coalescing; an order of magnitude faster on
+latency-bound rings).  GVT is computed by the colored token ring of
 :mod:`repro.warped.parallel.protocol` and broadcast for fossil
 collection; a GVT of ``+inf`` proves quiescence and shuts the ring
 down.
@@ -75,7 +80,7 @@ import time
 import traceback
 
 from repro.circuit.graph import CircuitGraph
-from repro.errors import ConfigError, SimulationError
+from repro.errors import ConfigError, ProtocolError, SimulationError
 from repro.obs.tracer import TraceWriter, merge_shards, shard_path
 from repro.partition.assignment import PartitionAssignment
 from repro.sim.stimulus import Stimulus
@@ -94,6 +99,11 @@ from repro.warped.parallel.protocol import (
     GvtClerk,
     GvtToken,
 )
+from repro.warped.parallel.transport import (
+    SendBuffer,
+    default_transport,
+    make_transport,
+)
 from repro.warped.stats import NodeStats, TimeWarpResult
 
 #: Local events processed between inbox polls (rollback responsiveness
@@ -103,6 +113,16 @@ _BATCH = 16
 _IDLE_WAIT = 0.005
 #: Minimum spacing between idle-triggered GVT computations (s).
 _IDLE_GVT_SPACING = 0.001
+#: Batched-transport variants of the two idle knobs.  The shm ring
+#: delivers in tens of microseconds (no feeder-thread pipe hop), so a
+#: window-throttled ring can afford idle-triggered GVT rounds spaced
+#: two orders of magnitude closer — which is exactly where the queue
+#: transport's s27 throughput went (97% idle between 1 ms rounds).
+_BATCH_IDLE_WAIT = 0.0005
+_BATCH_IDLE_GVT_SPACING = 0.00005
+#: Buffered outgoing messages (across all destinations) that force a
+#: wire flush between the GVT-mandated flush points.
+_WIRE_BATCH = 32
 #: How long a dead-but-unreported worker's payload may stay in flight
 #: before the parent declares the node lost (Queue feeder flushes are
 #: normally milliseconds; this absorbs a loaded machine).
@@ -235,6 +255,44 @@ def _put_wire(q, item) -> None:
             delay *= 2
 
 
+def _put_wire_batch(chan, items: list) -> None:
+    """Batched :func:`_put_wire`: one lock acquisition per flush.
+
+    Channels without ``put_batch`` (plain queues) degrade to per-item
+    puts.  Partial writes against a bounded ring make progress across
+    retries — only a channel accepting *nothing* for the whole budget
+    (dead or wedged receiver) raises, with the same diagnosis and the
+    same restartable-failure semantics as the single-item path.
+    """
+    put_batch = getattr(chan, "put_batch", None)
+    if put_batch is None:
+        for item in items:
+            _put_wire(chan, item)
+        return
+    delay = _PUT_BACKOFF
+    stalls = 0
+    while items:
+        try:
+            sent = put_batch(items)
+        except queue_mod.Full:  # lock timeout: peer died holding it
+            sent = 0
+        if sent:
+            items = items[sent:]
+            # Progress resets the stall budget: only a channel accepting
+            # nothing at all for the whole budget is dead.
+            stalls = 0
+            delay = _PUT_BACKOFF
+            continue
+        stalls += 1
+        if stalls >= _PUT_RETRIES:
+            raise SimulationError(
+                f"transport put failed {_PUT_RETRIES} times against a "
+                "full queue — receiver dead or wedged"
+            )
+        time.sleep(delay)
+        delay *= 2
+
+
 # ----------------------------------------------------------------------
 # the per-node loop (transport-agnostic, testable in-process)
 # ----------------------------------------------------------------------
@@ -273,6 +331,22 @@ class NodeLoop:
         self.inbox = inboxes[node]
         self.gvt_interval = gvt_interval
         self.tracer = tracer
+        #: Batched wire mode, advertised by the channel itself (the shm
+        #: ring sets ``batched = True``; queues and the in-process ring
+        #: tests' plain ``queue.Queue`` transports don't and keep the
+        #: original eager per-message path).  Outgoing messages park in
+        #: ``sendbuf`` — annihilating (positive, anti) pairs in place —
+        #: and hit the wire in per-destination batches at
+        #: :meth:`flush_wire`, which is where GVT colors and recovery
+        #: sequence numbers are assigned.
+        self.batched = bool(getattr(self.inbox, "batched", False))
+        self.sendbuf = SendBuffer() if self.batched else None
+        #: Idle knobs, transport-dependent: a ring that delivers in
+        #: microseconds affords much tighter idle-GVT pacing.
+        self.idle_wait = _BATCH_IDLE_WAIT if self.batched else _IDLE_WAIT
+        self.idle_gvt_spacing = (
+            _BATCH_IDLE_GVT_SPACING if self.batched else _IDLE_GVT_SPACING
+        )
         #: Crash-recovery checkpointing: with an interval set, a state
         #: snapshot goes to ``ckpt_dir`` each time an applied GVT value
         #: crosses a multiple of the interval (virtual time units).
@@ -334,6 +408,17 @@ class NodeLoop:
 
     # -- plumbing ------------------------------------------------------
     def flush_outbox(self) -> None:
+        if self.batched:
+            # Park in the send buffer (coalescing anti-messages against
+            # still-buffered positives); the wire flush happens at the
+            # GVT-mandated flush points or when the buffer fills.
+            buffer = self.sendbuf
+            for dest, msg in self.engine.outbox:
+                buffer.add(dest, msg)
+            self.engine.outbox.clear()
+            if len(buffer) >= _WIRE_BATCH:
+                self.flush_wire()
+            return
         if self.recovery:
             # Recovery wire format: each MSG carries (src, chan_seq) and
             # is logged so a restart can replay exactly the in-flight
@@ -351,6 +436,37 @@ class NodeLoop:
             color = self.clerk.note_send(msg.time)
             _put_wire(self.inboxes[dest], (MSG, color, msg))
         self.engine.outbox.clear()
+
+    def flush_wire(self) -> None:
+        """Ship every buffered message (batched transports only).
+
+        GVT colors and recovery sequence numbers are assigned *here*,
+        at wire time — never at buffer time — so a message the clerk
+        has counted as sent is always really on the wire.  Calling this
+        before every token fold, GVT application, and idle block keeps
+        the invariant the Mattern proof (and checkpoint consistency)
+        needs: whenever this node contributes to a GVT cut or snapshots
+        its state, its send buffer is empty.
+        """
+        if not self.batched or not len(self.sendbuf):
+            return
+        for dest, messages in self.sendbuf.drain():
+            if self.recovery:
+                seq = self.send_seq.get(dest, 0)
+                log = self.send_log.setdefault(dest, [])
+                items = []
+                for msg in messages:
+                    color = self.clerk.note_send(msg.time)
+                    seq += 1
+                    log.append((seq, color, msg))
+                    items.append((MSG, color, msg, self.node, seq))
+                self.send_seq[dest] = seq
+            else:
+                items = [
+                    (MSG, self.clerk.note_send(msg.time), msg)
+                    for msg in messages
+                ]
+            _put_wire_batch(self.inboxes[dest], items)
 
     def local_min(self) -> float:
         t = self.engine.min_pending()
@@ -546,8 +662,10 @@ class NodeLoop:
         now = time.perf_counter()
         idle = not self.engine.processable(self.gvt)
         if self.since_gvt >= self.gvt_interval or (
-            idle and now - self.last_initiate >= _IDLE_GVT_SPACING
+            idle and now - self.last_initiate >= self.idle_gvt_spacing
         ):
+            if self.batched:
+                self.flush_wire()  # fold with an empty send buffer
             self.next_cid += 1
             self.active_cid = self.next_cid
             self.last_initiate = now
@@ -580,6 +698,11 @@ class NodeLoop:
             self.engine.handle_remote(msg)
             self.flush_outbox()  # a straggler's rollback emits anti-messages
         elif tag == TOKEN:
+            if self.batched:
+                # Empty the send buffer before folding (or concluding)
+                # so every message the fold's white balance counts is
+                # really in flight — the invariant the GVT proof needs.
+                self.flush_wire()
             token = item[1]
             if self.node == 0 and token.cid == self.active_cid:
                 self.conclude(token)  # the round came home
@@ -590,6 +713,11 @@ class NodeLoop:
                     (TOKEN, token),
                 )
         elif tag == GVT:
+            if self.batched:
+                # A checkpoint written inside apply_gvt must capture an
+                # empty send buffer (buffered messages are neither
+                # logged nor clerk-counted yet).
+                self.flush_wire()
             self.apply_gvt(item[1], item[2])
         elif tag == RESUME:
             # Parent-replayed in-flight message of the restored epoch:
@@ -649,8 +777,12 @@ class NodeLoop:
             self.maybe_initiate()
             # Nothing processable and nothing drained: wait for the wire.
             if not worked:
+                if self.batched:
+                    # Never block on buffered sends — the peers need
+                    # them to make the progress this node is awaiting.
+                    self.flush_wire()
                 try:
-                    item = self.inbox.get(timeout=_IDLE_WAIT)
+                    item = self.inbox.get(timeout=self.idle_wait)
                 except queue_mod.Empty:
                     continue
                 self.handle(item)
@@ -692,6 +824,22 @@ def _worker_main(
         )
     except BaseException:  # noqa: BLE001 - ship the diagnosis to the parent
         result_queue.put((ERROR, node, traceback.format_exc()))
+        return
+    # Clean completion: the DONE payload is already flushed into the
+    # control pipe (SimpleQueue writes synchronously) and the parent
+    # joins us inside the measured run — so skip the interpreter
+    # teardown of a fork-copied heap and exit immediately.  Queue
+    # feeders are flushed first: the concluder's GVT=+inf broadcast may
+    # still sit in a feeder thread, and _exit would silently drop it.
+    for q in inboxes:
+        try:
+            q.close()
+            join = getattr(q, "join_thread", None)
+            if join is not None:
+                join()
+        except (OSError, ValueError):  # pragma: no cover - raced close
+            pass
+    os._exit(0)
 
 
 def _run_node(
@@ -743,6 +891,14 @@ def _run_node(
             payload = recovery["payload"]
             engine.restore_state(payload["engine"])
             loop.restore_loop(payload["loop"], cid_base=recovery["cid_base"])
+            # Re-publish the restore epoch under this attempt: the
+            # state just restored IS that epoch, so the write is an
+            # idempotent overwrite of the same cid — and it puts a
+            # ckpt record (and its restore cost) in this attempt's own
+            # trace shard, which the newest-attempt-only shard merge
+            # would otherwise lose whenever no new checkpoint interval
+            # is crossed between the restore point and quiescence.
+            loop.write_checkpoint(payload["cid"], payload["gvt"])
         else:
             engine.schedule_initial()
             if loop.recovery:
@@ -821,13 +977,48 @@ class _AttemptFailure(Exception):
         self.reason = reason
 
 
+class _ControlQueue:
+    """Feeder-less control channel (DONE/ERROR/CKPT) over ``SimpleQueue``.
+
+    ``mp.Queue`` starts a feeder thread in each process on its first
+    ``put``; for the control channel that thread's startup cost lands
+    inside the measured run, right at the worker's final report.
+    ``SimpleQueue`` writes the pickle straight into the pipe — no
+    thread — and this wrapper adds the small Queue surface the parent
+    collection loop and the shutdown drains rely on.
+    """
+
+    def __init__(self, ctx) -> None:
+        self._q = ctx.SimpleQueue()
+
+    def put(self, item) -> None:
+        self._q.put(item)
+
+    def get(self, timeout: float | None = None):
+        if timeout is not None and not self._q._reader.poll(timeout):
+            raise queue_mod.Empty
+        return self._q.get()
+
+    def get_nowait(self):
+        return self.get(timeout=0)
+
+    def cancel_join_thread(self) -> None:
+        """No feeder thread to cancel — present for Queue compatibility."""
+
+    def close(self) -> None:
+        self._q.close()
+
+
 def _drain_queue(q) -> int:
     """Discard whatever *q* currently holds; returns the count."""
     drained = 0
     while True:
         try:
             q.get_nowait()
-        except (queue_mod.Empty, OSError, ValueError):
+        except (queue_mod.Empty, OSError, ValueError, ProtocolError):
+            # ProtocolError: a just-terminated worker can in principle
+            # leave a torn record at the shm ring frontier; shutdown
+            # drains must never die over garbage they are discarding.
             return drained
         drained += 1
 
@@ -875,6 +1066,7 @@ class ProcessTimeWarpSimulator:
         max_restarts: int = 0,
         checkpoint_dir: str | None = None,
         inbox_maxsize: int | None = None,
+        transport: str | None = None,
     ) -> None:
         if not circuit.frozen:
             raise SimulationError("circuit must be frozen")
@@ -924,8 +1116,19 @@ class ProcessTimeWarpSimulator:
         #: Bound on each node's inbox (None = unbounded).  Senders use
         #: bounded-retry ``put_nowait`` with exponential backoff, so a
         #: full inbox degrades into a diagnosable node failure instead
-        #: of a silent distributed deadlock.
+        #: of a silent distributed deadlock.  (The shm transport's rings
+        #: are always bounded; None selects their default capacity.)
         self.inbox_maxsize = inbox_maxsize
+        #: Wire transport name ("queue" or "shm"); None resolves the
+        #: ``REPRO_TW_TRANSPORT`` environment default so CI can sweep
+        #: the whole process-backend matrix across transports.
+        self.transport = (
+            transport if transport is not None else default_transport()
+        )
+        #: The transport instance owns every channel any attempt of
+        #: this run creates; its (idempotent) ``cleanup`` runs on all
+        #: exit paths so no shm segment can outlive the simulator.
+        self._transport = make_transport(self.transport)
         #: OS pid of each worker after a run — evidence the simulation
         #: really executed on separate processes.
         self.worker_pids: dict[int, int] = {}
@@ -942,7 +1145,7 @@ class ProcessTimeWarpSimulator:
     # ------------------------------------------------------------------
     def _make_results_queue(self, ctx):
         """Result-queue factory (overridable in liveness tests)."""
-        return ctx.Queue()
+        return _ControlQueue(ctx)
 
     # ------------------------------------------------------------------
     def run(self) -> TimeWarpResult:
@@ -1024,6 +1227,10 @@ class ProcessTimeWarpSimulator:
                         }
                     )
         finally:
+            # Belt-and-braces: _run_attempt already cleans up per
+            # attempt, but this is the backstop that guarantees no shm
+            # segment survives *any* exit — KeyboardInterrupt included.
+            self._transport.cleanup()
             if ckpt_tmp is not None:
                 ckpt_tmp.cleanup()
         if self.trace_path is not None:
@@ -1056,12 +1263,10 @@ class ProcessTimeWarpSimulator:
         :class:`SimulationError` on a terminal one (timeout, unclean
         exit after reporting).
         """
-        inboxes = [
-            ctx.Queue(self.inbox_maxsize)
-            if self.inbox_maxsize is not None
-            else ctx.Queue()
-            for _ in range(n)
-        ]
+        inboxes = self._transport.make_inboxes(ctx, n, self.inbox_maxsize)
+        # Parent-facing control traffic (DONE/ERROR/CKPT payloads) stays
+        # on a pickle-based pipe under every transport: it carries
+        # arbitrary payloads, not fixed-width records.
         results = self._make_results_queue(ctx)
         workers = []
         for node in range(n):
@@ -1165,8 +1370,13 @@ class ProcessTimeWarpSimulator:
                 payloads[item[1]] = item[2]
         except BaseException:
             self._shutdown(workers, inboxes, results, patience=_ERROR_PATIENCE)
+            # Unlink this attempt's segments now — a restart builds
+            # fresh channels, and a many-restart run must not pile dead
+            # rings up in /dev/shm until the end.
+            self._transport.cleanup()
             raise
         self._shutdown(workers, inboxes, results, patience=_SHUTDOWN_PATIENCE)
+        self._transport.cleanup()
         unclean = {
             i: code for i, code in self.worker_exitcodes.items() if code != 0
         }
@@ -1296,5 +1506,6 @@ class ProcessTimeWarpSimulator:
                 for (gate, cycle), value in captures.items()
             ),
             backend="process",
+            transport=self.transport,
             restarts=self.restarts,
         )

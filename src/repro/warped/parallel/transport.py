@@ -1,0 +1,651 @@
+"""Pluggable wire transports for the multiprocess Time Warp backend.
+
+The :class:`~repro.warped.parallel.backend.NodeLoop` has been
+transport-agnostic since PR 2 — it only ever calls ``put_nowait`` /
+``get`` / ``get_nowait`` / ``qsize`` on its inboxes.  This module makes
+the substrate an explicit, selectable :class:`Transport`:
+
+- ``queue`` — the original per-node ``multiprocessing.Queue`` inboxes.
+  Correct and portable, but every message costs a pickle round-trip plus
+  a feeder-thread hop through an OS pipe (~0.5–1 ms of latency per
+  wakeup), which is what capped the process backend at a few thousand
+  events/sec (BENCH_1.json, ROADMAP top item).
+
+- ``shm`` — one ``multiprocessing.shared_memory`` ring buffer per node,
+  carrying **struct-packed fixed-width records** (no pickling) of every
+  wire tag in :mod:`repro.warped.parallel.protocol`.  Producers batch
+  under a per-ring lock; the single consumer (the owning node) is
+  lock-free; blocked readers poll with ``sched_yield`` so a delivery
+  costs tens of microseconds instead of a pipe wakeup.
+
+Ring layout (one segment per node, created by the parent)::
+
+    offset 0   u64  write cursor   (monotonic record count, producer-owned)
+    offset 8   u64  read cursor    (monotonic record count, consumer-owned)
+    offset 16  u64  capacity       (records; for attach-time validation)
+    offset 24  u64  reserved
+    offset 32  capacity x RECORD_SIZE record slots (cursor % capacity)
+
+Cursors are monotonic, so ``write - read`` is the queue depth and
+``capacity - (write - read)`` the free space; both cursors live in their
+own 8-byte slots and are only ever stored by their owning side (the
+producer lock serialises writers against each other, never against the
+reader).  A producer copies its record bytes first and publishes the new
+write cursor last, so the consumer can never observe a slot before its
+bytes are complete; the checksum-retry in ``get_nowait`` additionally
+absorbs any store-reordering window on weakly ordered hardware.
+
+Every record is :data:`RECORD_SIZE` bytes::
+
+    <BB2xI  u8 tag, u8 flags, 2 pad, u32 crc
+    10q     ten int64 fields   (meaning depends on the tag)
+    2d      two float64 fields (GVT values, token minima)
+
+The crc is CRC-32 over the record with its own crc field zeroed, so
+*any* error burst up to 32 bits — in particular any single corrupt
+byte, including inside the crc itself — is detected and surfaced as a
+:class:`~repro.errors.ProtocolError` — never a bare ``struct.error`` or
+a silently wrong ``Message``.
+
+Batching and anti-message coalescing live in :class:`SendBuffer`: the
+node loop parks outgoing messages per destination and flushes them as
+one locked batch.  A (positive, anti) pair that meets *inside* the
+buffer annihilates before reaching the wire at all — sound because the
+pair was not yet GVT-colored or sequence-stamped (both happen at flush
+time), so the wire looks exactly as if the receiver had annihilated the
+pair in its input queue, an interleaving Time Warp already tolerates.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_mod
+import select
+import struct
+import time
+import uuid
+import zlib
+from multiprocessing import shared_memory
+
+from repro.errors import ConfigError, ProtocolError
+from repro.warped.messages import ANTI, POSITIVE, Message
+from repro.warped.parallel.protocol import (
+    CKPT,
+    GVT,
+    MSG,
+    RESUME,
+    TOKEN,
+    GvtToken,
+)
+
+# ----------------------------------------------------------------------
+# fixed-width record codec
+# ----------------------------------------------------------------------
+_RECORD = struct.Struct("<BB2xI10q2d")
+#: Bytes per wire record (104: 8 header + 10 int64 + 2 float64).
+RECORD_SIZE = _RECORD.size
+#: CRC field location in the header (u32 at bytes 4-8).
+_CRC = struct.Struct("<I")
+_CRC_OFF = 4
+_CRC_ZERO = b"\x00\x00\x00\x00"
+
+#: Tag byte of each wire tuple kind.
+_TAG_MSG = 1
+_TAG_TOKEN = 2
+_TAG_GVT = 3
+_TAG_CKPT = 4
+_TAG_RESUME = 5
+
+#: Record flag bits.
+_F_ANTI = 0x01    # the carried Message is an anti-message
+_F_SEQ = 0x02     # the MSG carries its recovery (src, chan_seq) tail
+
+_CURSOR = struct.Struct("<Q")
+_HEADER_SIZE = 32
+_WRITE_OFF = 0
+_READ_OFF = 8
+_CAP_OFF = 16
+
+
+def _pack(tag: int, flags: int, ints, f0: float = 0.0, f1: float = 0.0) -> bytes:
+    fields = list(ints) + [0] * (10 - len(ints))
+    try:
+        raw = bytearray(_RECORD.pack(tag, flags, 0, *fields, f0, f1))
+    except struct.error as exc:
+        raise ProtocolError(
+            f"wire field out of range for a fixed-width record: {exc}"
+        ) from None
+    # CRC-32 over the record with its own crc field zeroed (exactly how
+    # _pack just produced it).  A full-width CRC detects every error
+    # burst of up to 32 bits — in particular any single corrupt byte,
+    # header, payload, or the crc itself — and zlib computes it at C
+    # speed, which matters on the per-record hot path.
+    _CRC.pack_into(raw, _CRC_OFF, zlib.crc32(raw))
+    return bytes(raw)
+
+
+def encode_record(item: tuple) -> bytes:
+    """Pack one wire tuple into its :data:`RECORD_SIZE`-byte record."""
+    tag = item[0]
+    if tag == MSG:
+        if len(item) == 5:
+            _, color, msg, src, seq = item
+            flags = _F_SEQ
+        else:
+            _, color, msg = item
+            src = seq = 0
+            flags = 0
+        if msg.sign == ANTI:
+            flags |= _F_ANTI
+        return _pack(
+            _TAG_MSG, flags,
+            (color, msg.time, msg.prio, msg.src, msg.n,
+             msg.value, msg.dest, msg.uid, src, seq),
+        )
+    if tag == TOKEN:
+        token = item[1]
+        return _pack(
+            _TAG_TOKEN, 0, (token.cid, token.count),
+            token.m_clock, token.m_send,
+        )
+    if tag == GVT:
+        return _pack(_TAG_GVT, 0, (item[1],), float(item[2]))
+    if tag == CKPT:
+        _, node, cid, gvt = item
+        return _pack(_TAG_CKPT, 0, (node, cid), float(gvt))
+    if tag == RESUME:
+        _, src, seq, color, msg = item
+        flags = _F_SEQ | (_F_ANTI if msg.sign == ANTI else 0)
+        return _pack(
+            _TAG_RESUME, flags,
+            (color, msg.time, msg.prio, msg.src, msg.n,
+             msg.value, msg.dest, msg.uid, src, seq),
+        )
+    raise ProtocolError(f"cannot encode wire item with tag {tag!r}")
+
+
+def decode_record(data: bytes) -> tuple:
+    """Unpack one record; the exact tuple :func:`encode_record` packed.
+
+    Raises :class:`ProtocolError` on a truncated buffer, a checksum
+    mismatch, or an unknown tag byte.
+    """
+    if len(data) != RECORD_SIZE:
+        raise ProtocolError(
+            f"truncated wire record: {len(data)} bytes, "
+            f"expected {RECORD_SIZE}"
+        )
+    want = _CRC.unpack_from(data, _CRC_OFF)[0]
+    have = zlib.crc32(
+        data[_CRC_OFF + 4:],
+        zlib.crc32(_CRC_ZERO, zlib.crc32(data[:_CRC_OFF])),
+    )
+    if have != want:
+        raise ProtocolError(
+            f"corrupt wire record: checksum {have:#010x} != {want:#010x}"
+        )
+    tag = data[0]
+    flags = data[1]
+    fields = _RECORD.unpack(data)
+    ints = fields[3:13]
+    f0, f1 = fields[13], fields[14]
+    if tag == _TAG_MSG or tag == _TAG_RESUME:
+        msg = Message(
+            ints[1], ints[2], ints[3], ints[4], ints[5], ints[6], ints[7],
+            ANTI if flags & _F_ANTI else POSITIVE,
+        )
+        if tag == _TAG_RESUME:
+            return (RESUME, ints[8], ints[9], ints[0], msg)
+        if flags & _F_SEQ:
+            return (MSG, ints[0], msg, ints[8], ints[9])
+        return (MSG, ints[0], msg)
+    if tag == _TAG_TOKEN:
+        return (
+            TOKEN,
+            GvtToken(cid=ints[0], m_clock=f0, m_send=f1, count=ints[1]),
+        )
+    if tag == _TAG_GVT:
+        return (GVT, ints[0], f0)
+    if tag == _TAG_CKPT:
+        return (CKPT, ints[0], ints[1], f0)
+    raise ProtocolError(f"unknown wire record tag {tag}")
+
+
+# ----------------------------------------------------------------------
+# the shared-memory ring channel
+# ----------------------------------------------------------------------
+#: Default ring capacity in records when the simulator sets no inbox
+#: bound (432 KiB per node; deep enough that only a flood fills it).
+DEFAULT_CAPACITY = 4096
+#: Blocking receives spin-yield this briefly before parking on the
+#: doorbell pipe.  The spin catches back-to-back traffic for free; it
+#: is kept short because a long yield-spin on a saturated host inflates
+#: the spinner's scheduler debt and the *next* wakeup pays it in
+#: milliseconds of latency (the tail that sank the first prototype).
+_SPIN_YIELDS = 24
+#: Retry pacing for full-ring producer backoff and decode retries.
+_POLL_SLEEP = 0.0002
+#: Upper bound on one doorbell park.  The doorbell protocol has no lost
+#: wakeups (see :meth:`ShmChannel.get`), so this is pure defence: a bug
+#: degrades to 20 Hz polling instead of a deadlock.
+_DOORBELL_CAP = 0.05
+#: Producer-lock acquisition bound.  A peer that died *holding* the
+#: lock would otherwise block every sender forever; timing out turns
+#: that into a Full → bounded-retry → diagnosable node failure.
+_LOCK_TIMEOUT = 2.0
+#: Checksum-retry budget in ``get_nowait`` (absorbs the store-ordering
+#: window between a producer's slot write and cursor publish).
+_DECODE_RETRIES = 8
+
+_sched_yield = getattr(os, "sched_yield", None)
+
+
+class ShmChannel:
+    """One node's inbox: a fixed-width MPSC ring in shared memory.
+
+    Many producers (serialised by *lock*), exactly one consumer (the
+    owning node).  Implements the same ``put_nowait`` / ``get`` /
+    ``get_nowait`` / ``qsize`` surface as ``multiprocessing.Queue`` —
+    raising the stdlib ``queue.Full`` / ``queue.Empty`` — plus
+    ``put_batch`` for one-lock batched sends.  ``batched = True``
+    advertises to the node loop that sends should be buffered and
+    flushed in batches.
+
+    Blocking receives park on a pipe *doorbell*: a producer that finds
+    the ring empty writes one byte after publishing, so a waiting
+    consumer sleeps in ``select`` (cheap, promptly woken by the kernel)
+    instead of burning its scheduler budget yield-spinning — on a
+    saturated host a long spin makes the *next* wakeup pay multi-ms of
+    accumulated scheduling debt.
+
+    The channel pickles by (name, capacity, lock, duped doorbell fds):
+    a spawned worker re-attaches the segment lazily on first use; a
+    forked worker inherits the mapping and fds directly.  Only the
+    creating parent ever calls ``unlink``.
+    """
+
+    batched = True
+
+    def __init__(self, name: str, capacity: int, lock, *, create: bool = False):
+        self.name = name
+        self.capacity = capacity
+        self._lock = lock
+        self._shm = None
+        self._buf = None
+        self._closed = False
+        self._unlinked = False
+        self._rfd, self._wfd = os.pipe()
+        os.set_blocking(self._rfd, False)
+        os.set_blocking(self._wfd, False)
+        if create:
+            self._shm = shared_memory.SharedMemory(
+                name=name, create=True,
+                size=_HEADER_SIZE + capacity * RECORD_SIZE,
+            )
+            self._buf = self._shm.buf
+            _CURSOR.pack_into(self._buf, _CAP_OFF, capacity)
+
+    # -- pickling (spawn) / inheritance (fork) -------------------------
+    def __getstate__(self) -> dict:
+        # DupFd ships the doorbell fds the same way mp.Queue ships its
+        # pipe: duplicated into the receiving process by the reduction
+        # machinery (spawn) or the resource sharer (explicit pickling).
+        from multiprocessing import reduction
+
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "lock": self._lock,
+            "rfd": reduction.DupFd(self._rfd),
+            "wfd": reduction.DupFd(self._wfd),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.name = state["name"]
+        self.capacity = state["capacity"]
+        self._lock = state["lock"]
+        self._shm = None
+        self._buf = None
+        self._closed = False
+        self._unlinked = False
+        self._rfd = state["rfd"].detach()
+        self._wfd = state["wfd"].detach()
+
+    def _ensure(self):
+        buf = self._buf
+        if buf is None:
+            if self._closed:
+                raise OSError(f"shm channel {self.name} is closed")
+            # NB: attaching re-registers the name with the resource
+            # tracker, but the tracker process is shared across the
+            # whole multiprocessing tree and keeps a *set* of names —
+            # the re-registration is an idempotent no-op, and the one
+            # unregister the creator's unlink() sends balances it.
+            self._shm = shared_memory.SharedMemory(name=self.name)
+            buf = self._buf = self._shm.buf
+            if _CURSOR.unpack_from(buf, _CAP_OFF)[0] != self.capacity:
+                raise ProtocolError(
+                    f"shm channel {self.name}: capacity mismatch on attach"
+                )
+        return buf
+
+    # -- producer side -------------------------------------------------
+    def _write(self, records: list[bytes]) -> int:
+        """Append up to ``len(records)`` under the lock; returns count."""
+        buf = self._ensure()
+        if not self._lock.acquire(timeout=_LOCK_TIMEOUT):
+            raise queue_mod.Full
+        try:
+            write = _CURSOR.unpack_from(buf, _WRITE_OFF)[0]
+            read = _CURSOR.unpack_from(buf, _READ_OFF)[0]
+            was_empty = write <= read
+            space = self.capacity - (write - read)
+            count = min(space, len(records))
+            for record in records[:count]:
+                slot = _HEADER_SIZE + (write % self.capacity) * RECORD_SIZE
+                buf[slot:slot + RECORD_SIZE] = record
+                write += 1
+            if count:
+                # Publish after the slot bytes: the consumer reads the
+                # cursor first, so it can never see a half-copied slot.
+                _CURSOR.pack_into(buf, _WRITE_OFF, write)
+                if was_empty and self._wfd is not None:
+                    # Ring went empty -> nonempty: ring the doorbell so
+                    # a consumer parked in select() wakes immediately.
+                    # Nonblocking: a full pipe already holds plenty of
+                    # unconsumed wake signals.
+                    try:
+                        os.write(self._wfd, b"\x01")
+                    except OSError:
+                        pass
+            return count
+        finally:
+            self._lock.release()
+
+    def put_nowait(self, item: tuple) -> None:
+        if self._write([encode_record(item)]) == 0:
+            raise queue_mod.Full
+
+    def put(self, item: tuple, timeout: float | None = None) -> None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                self.put_nowait(item)
+                return
+            except queue_mod.Full:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise
+                time.sleep(_POLL_SLEEP)
+
+    def put_batch(self, items: list[tuple]) -> int:
+        """Write as many of *items* as fit, in order, under one lock
+        acquisition; returns how many were written."""
+        if not items:
+            return 0
+        return self._write([encode_record(item) for item in items])
+
+    # -- consumer side (single reader, lock-free) ----------------------
+    def get_nowait(self) -> tuple:
+        buf = self._ensure()
+        read = _CURSOR.unpack_from(buf, _READ_OFF)[0]
+        if _CURSOR.unpack_from(buf, _WRITE_OFF)[0] <= read:
+            raise queue_mod.Empty
+        slot = _HEADER_SIZE + (read % self.capacity) * RECORD_SIZE
+        data = bytes(buf[slot:slot + RECORD_SIZE])
+        try:
+            item = decode_record(data)
+        except ProtocolError:
+            item = self._decode_retry(buf, slot)
+        _CURSOR.pack_into(buf, _READ_OFF, read + 1)
+        return item
+
+    def _decode_retry(self, buf, slot: int) -> tuple:
+        # A failed checksum right at the cursor frontier is (on weakly
+        # ordered hardware) most likely the producer's slot bytes still
+        # in flight; re-read briefly before declaring corruption.
+        for _ in range(_DECODE_RETRIES):
+            time.sleep(_POLL_SLEEP)
+            try:
+                return decode_record(bytes(buf[slot:slot + RECORD_SIZE]))
+            except ProtocolError:
+                continue
+        return decode_record(bytes(buf[slot:slot + RECORD_SIZE]))
+
+    def get(self, timeout: float | None = None) -> tuple:
+        """Blocking receive: spin-yield briefly, then park on the
+        doorbell pipe.
+
+        The spin phase catches back-to-back traffic without a syscall;
+        the select() phase sleeps with zero CPU until a producer rings
+        the doorbell.  Lost-wakeup safety: the consumer drains pending
+        doorbell bytes *before* re-checking the ring and only then
+        blocks, while a producer rings *after* publishing its cursor —
+        so any publish that races the final check leaves either a
+        visible record or a readable byte.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for _ in range(_SPIN_YIELDS):
+            try:
+                return self.get_nowait()
+            except queue_mod.Empty:
+                if _sched_yield is not None:
+                    _sched_yield()
+        rfd = self._rfd
+        while True:
+            if rfd is not None:
+                try:
+                    os.read(rfd, 4096)
+                except OSError:
+                    pass
+            try:
+                return self.get_nowait()
+            except queue_mod.Empty:
+                pass
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise queue_mod.Empty
+            else:
+                remaining = _DOORBELL_CAP
+            if rfd is not None:
+                select.select([rfd], [], [], min(remaining, _DOORBELL_CAP))
+            else:  # pragma: no cover - doorbell closed under the reader
+                time.sleep(_POLL_SLEEP)
+
+    def qsize(self) -> int:
+        buf = self._ensure()
+        return max(
+            0,
+            _CURSOR.unpack_from(buf, _WRITE_OFF)[0]
+            - _CURSOR.unpack_from(buf, _READ_OFF)[0],
+        )
+
+    # -- lifecycle (Queue-compatible surface) --------------------------
+    def cancel_join_thread(self) -> None:
+        """No feeder thread to cancel — present for Queue compatibility."""
+
+    def close(self) -> None:
+        """Drop this process's mapping and fds (idempotent; never
+        unlinks)."""
+        self._closed = True
+        self._buf = None
+        shm, self._shm = self._shm, None
+        if shm is not None:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - exported views live
+                pass
+        for attr in ("_rfd", "_wfd"):
+            fd = getattr(self, attr)
+            if fd is not None:
+                setattr(self, attr, None)
+                try:
+                    os.close(fd)
+                except OSError:  # pragma: no cover - already closed
+                    pass
+
+    def unlink(self) -> None:
+        """Remove the segment from the OS (idempotent; creator only).
+
+        Works even after :meth:`close` — cleanup paths close mappings
+        before the transport unlinks — by re-attaching just to unlink.
+        """
+        if self._unlinked:
+            return
+        self._unlinked = True
+        shm = self._shm
+        if shm is None:
+            try:
+                shm = shared_memory.SharedMemory(name=self.name)
+            except FileNotFoundError:
+                return
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - raced cleanup
+            pass
+        if shm is not self._shm:
+            shm.close()
+
+
+# ----------------------------------------------------------------------
+# send batching with anti-message coalescing
+# ----------------------------------------------------------------------
+class SendBuffer:
+    """Per-destination buffer of outgoing messages awaiting a flush.
+
+    An anti-message whose positive copy (same ``uid``, same dest) is
+    still buffered annihilates it *in the buffer*: neither ever reaches
+    the wire, the GVT clerk, or the recovery send log.  That is sound
+    because stamping (GVT color, channel sequence) happens only at flush
+    time — an unflushed pair is observationally identical to a pair the
+    receiver annihilated in its own input queue before processing, which
+    is a legal Time Warp interleaving.  ``coalesced`` counts annihilated
+    pairs for observability.
+    """
+
+    def __init__(self) -> None:
+        self._pending: dict[int, list[Message | None]] = {}
+        self._positives: dict[int, dict[int, int]] = {}
+        self._count = 0
+        self.coalesced = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def add(self, dest: int, msg: Message) -> None:
+        bucket = self._pending.setdefault(dest, [])
+        index = self._positives.setdefault(dest, {})
+        if msg.sign == ANTI:
+            hit = index.pop(msg.uid, None)
+            if hit is not None:
+                bucket[hit] = None
+                self._count -= 1
+                self.coalesced += 1
+                return
+        else:
+            index[msg.uid] = len(bucket)
+        bucket.append(msg)
+        self._count += 1
+
+    def drain(self):
+        """Yield ``(dest, messages)`` batches and reset the buffer."""
+        pending = self._pending
+        self._pending = {}
+        self._positives = {}
+        self._count = 0
+        for dest, bucket in pending.items():
+            messages = [m for m in bucket if m is not None]
+            if messages:
+                yield dest, messages
+
+
+# ----------------------------------------------------------------------
+# the Transport interface
+# ----------------------------------------------------------------------
+class Transport:
+    """Factory/owner of one attempt's inter-node channels.
+
+    ``make_inboxes`` builds the n per-node inboxes for one ring attempt;
+    ``cleanup`` releases every OS resource any attempt created (required
+    on *all* exit paths — success, restart, error, KeyboardInterrupt —
+    and idempotent so belt-and-braces calls are free).
+    """
+
+    name = "abstract"
+    #: Whether the node loop should batch sends (see ``ShmChannel``).
+    batched = False
+
+    def make_inboxes(self, ctx, n: int, maxsize: int | None) -> list:
+        raise NotImplementedError
+
+    def cleanup(self) -> None:
+        """Release transport OS resources (idempotent)."""
+
+
+class QueueTransport(Transport):
+    """The original substrate: one ``multiprocessing.Queue`` per node."""
+
+    name = "queue"
+
+    def make_inboxes(self, ctx, n: int, maxsize: int | None) -> list:
+        if maxsize is not None:
+            return [ctx.Queue(maxsize) for _ in range(n)]
+        return [ctx.Queue() for _ in range(n)]
+
+
+class ShmTransport(Transport):
+    """Shared-memory rings with batched fixed-width records."""
+
+    name = "shm"
+    batched = True
+
+    def __init__(self) -> None:
+        self._channels: list[ShmChannel] = []
+
+    def make_inboxes(self, ctx, n: int, maxsize: int | None) -> list:
+        capacity = maxsize if maxsize is not None else DEFAULT_CAPACITY
+        run_tag = uuid.uuid4().hex[:8]
+        channels = [
+            ShmChannel(
+                f"twshm-{os.getpid()}-{run_tag}-n{node}",
+                capacity, ctx.Lock(), create=True,
+            )
+            for node in range(n)
+        ]
+        self._channels.extend(channels)
+        return channels
+
+    def cleanup(self) -> None:
+        for channel in self._channels:
+            channel.unlink()
+        self._channels.clear()
+
+
+_TRANSPORTS: dict[str, type[Transport]] = {
+    "queue": QueueTransport,
+    "shm": ShmTransport,
+}
+
+#: Valid ``--transport`` values.
+TRANSPORT_NAMES: tuple[str, ...] = tuple(sorted(_TRANSPORTS))
+
+
+def make_transport(name: str) -> Transport:
+    """Instantiate the named transport (:class:`ConfigError` if unknown)."""
+    try:
+        cls = _TRANSPORTS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown transport {name!r} (one of {sorted(_TRANSPORTS)})"
+        ) from None
+    return cls()
+
+
+def default_transport() -> str:
+    """The transport used when none is requested explicitly.
+
+    ``REPRO_TW_TRANSPORT`` overrides the built-in default (``queue``)
+    so CI can sweep the whole process-backend test matrix across
+    transports without touching every construction site.
+    """
+    return os.environ.get("REPRO_TW_TRANSPORT", "queue")

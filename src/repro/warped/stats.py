@@ -93,6 +93,9 @@ class TimeWarpResult:
     #: deterministic modelled machine) or "process" (real OS processes,
     #: measured wall-clock).
     backend: str = "virtual"
+    #: Process backend only: the wire transport that carried the run's
+    #: inter-node messages ("queue" or "shm"); None on other backends.
+    transport: str | None = None
     #: Process backend only: ring restarts performed while recovering
     #: from worker crashes (0 on a fault-free run).
     restarts: int = 0

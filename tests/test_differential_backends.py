@@ -58,15 +58,26 @@ def _assert_backends_agree(case, algorithm, k, *, window=None, gvt_interval=64):
         num_nodes=k, gvt_interval=gvt_interval, optimism_window=window
     )
     virtual = TimeWarpSimulator(circuit, assignment, stimulus, machine).run()
-    process = ProcessTimeWarpSimulator(circuit, assignment, stimulus, machine).run()
+    # The process backend runs once per wire transport: the queue and
+    # shm substrates race messages completely differently (pickled
+    # feeder pipes vs. batched fixed-width rings with anti-message
+    # coalescing), yet rollback must erase every trace of that.
+    by_transport = {
+        transport: ProcessTimeWarpSimulator(
+            circuit, assignment, stimulus, machine, transport=transport
+        ).run()
+        for transport in ("queue", "shm")
+    }
     # Sequential is the oracle; virtual and process must both match it —
     # and therefore each other.
     assert virtual.final_values == sequential.final_values
-    assert process.final_values == virtual.final_values
     assert virtual.committed_captures == sequential.committed_captures
-    assert process.committed_captures == virtual.committed_captures
-    # Both backends process at least the committed workload.
-    assert process.events_committed == virtual.events_committed
+    for transport, process in by_transport.items():
+        assert process.transport == transport
+        assert process.final_values == virtual.final_values, transport
+        assert process.committed_captures == virtual.committed_captures, transport
+        # Both backends process at least the committed workload.
+        assert process.events_committed == virtual.events_committed, transport
 
 
 @pytest.mark.parametrize("k", NODE_COUNTS)
@@ -86,8 +97,9 @@ def test_generated_circuit_all_partitioners(generated_case, algorithm, k):
 # restarts from its last checkpoint epoch must still match the oracle
 # bit-for-bit — recovery is allowed to cost time, never correctness.
 # ----------------------------------------------------------------------
+@pytest.mark.parametrize("transport", ("queue", "shm"))
 @pytest.mark.parametrize("k", (2, 4))
-def test_recovery_matches_oracle(s27_case, monkeypatch, k):
+def test_recovery_matches_oracle(s27_case, monkeypatch, k, transport):
     circuit, stimulus, sequential = s27_case
     assignment = get_partitioner("Multilevel", seed=3).partition(circuit, k)
     machine = VirtualMachine(
@@ -101,7 +113,8 @@ def test_recovery_matches_oracle(s27_case, monkeypatch, k):
     # test nothing (the assertion on ``restarts`` guards that).
     monkeypatch.setenv("REPRO_TW_FAULT", "1:exit-at:60")
     process = ProcessTimeWarpSimulator(
-        circuit, assignment, stimulus, machine, max_restarts=3
+        circuit, assignment, stimulus, machine, max_restarts=3,
+        transport=transport,
     ).run()
 
     assert process.restarts >= 1

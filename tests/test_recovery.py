@@ -10,6 +10,7 @@ mid-run and recovered end to end.  The bit-identical differential check
 
 from __future__ import annotations
 
+import os
 import pickle
 
 import pytest
@@ -273,6 +274,16 @@ class TestRecoveryEndToEnd:
         complete = [cid for cid, files in epochs.items() if len(files) == 2]
         assert len(complete) <= 2
 
+    def test_shm_transport_recovers_too(self, s27_setup, monkeypatch):
+        """Recovery is transport-independent: the same kill-and-restore
+        path works when the ring lineage is rebuilt on shm channels."""
+        _, _, sequential = s27_setup
+        monkeypatch.setenv("REPRO_TW_FAULT", "1:exit-at:60")
+        result = self._sim(s27_setup, transport="shm").run()
+        assert result.restarts == 1
+        assert not result.degraded
+        assert result.final_values == sequential.final_values
+
     def test_trace_has_ckpt_and_restart_records(
         self, s27_setup, monkeypatch, tmp_path
     ):
@@ -302,3 +313,75 @@ class TestRecoveryEndToEnd:
         assert summary["restarts"] == 1
         assert summary["checkpoints"] == len(ckpts)
         assert summary["checkpoint_bytes"] > 0
+
+
+# ----------------------------------------------------------------------
+# Shm segment hygiene: no /dev/shm leaks on ANY exit path
+# ----------------------------------------------------------------------
+class _InterruptingQueue:
+    """Results-queue proxy that turns the Nth parent ``get`` into a
+    KeyboardInterrupt — a Ctrl-C landing mid-collection, after workers
+    have started and shm rings are live."""
+
+    def __init__(self, inner, after: int):
+        self._inner = inner
+        self._remaining = after
+
+    def get(self, timeout=None):
+        if self._remaining <= 0:
+            raise KeyboardInterrupt
+        self._remaining -= 1
+        return self._inner.get(timeout)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+@pytest.mark.skipif(not os.path.isdir("/dev/shm"), reason="no /dev/shm")
+class TestShmSegmentHygiene:
+    """Every exit path of a shm-transport run must unlink its rings.
+
+    Segment names embed the creating parent's pid (``twshm-<pid>-...``),
+    so "this run leaked" is exactly "an entry with our pid prefix
+    survives in /dev/shm".
+    """
+
+    @staticmethod
+    def _our_segments() -> set[str]:
+        prefix = f"twshm-{os.getpid()}-"
+        return {n for n in os.listdir("/dev/shm") if n.startswith(prefix)}
+
+    def _sim(self, s27_setup, **kw):
+        circuit, stimulus, _ = s27_setup
+        assignment = get_partitioner("Multilevel", seed=3).partition(circuit, 2)
+        kw.setdefault("timeout", 60.0)
+        return ProcessTimeWarpSimulator(
+            circuit, assignment, stimulus,
+            VirtualMachine(num_nodes=2, gvt_interval=32, checkpoint_interval=60),
+            transport="shm", **kw,
+        )
+
+    def test_no_leak_after_worker_death_and_restart(
+        self, s27_setup, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TW_FAULT", "1:exit-at:60")
+        result = self._sim(s27_setup, max_restarts=2).run()
+        assert result.restarts >= 1
+        assert not self._our_segments(), "restarted run leaked shm segments"
+
+    def test_no_leak_after_fail_stop_error(self, s27_setup, monkeypatch):
+        monkeypatch.setenv("REPRO_TW_FAULT", "1:raise")
+        with pytest.raises(SimulationError, match="node 1 failed"):
+            self._sim(s27_setup, max_restarts=0).run()
+        assert not self._our_segments(), "failed run leaked shm segments"
+
+    def test_no_leak_after_keyboard_interrupt(self, s27_setup, monkeypatch):
+        monkeypatch.delenv("REPRO_TW_FAULT", raising=False)
+        sim = self._sim(s27_setup, max_restarts=0)
+        make_results = sim._make_results_queue
+        sim._make_results_queue = (
+            lambda ctx: _InterruptingQueue(make_results(ctx), after=1)
+        )
+        with pytest.raises(KeyboardInterrupt):
+            sim.run()
+        assert not self._our_segments(), "interrupted run leaked shm segments"

@@ -65,11 +65,15 @@ def random_case(rng, names, *, process: bool) -> dict:
         "engines": ["timewarp"],
     }
     if process:
-        # Smaller worlds: each case forks k OS processes.
+        # Smaller worlds: each case forks k OS processes — and runs
+        # them on BOTH wire transports, so every fuzzed configuration
+        # doubles as a queue-vs-shm differential (final values and
+        # captures against sequential, committed counts against each
+        # other; see run_case).
         case["spec"]["num_gates"] = int(rng.integers(25, 90))
         case["stimulus"]["num_cycles"] = int(rng.integers(4, 12))
         case["k"] = int(rng.integers(2, 5))
-        case["engines"] = ["process"]
+        case["engines"] = ["process", "process-shm"]
     else:
         case["machine"].update(
             cancellation="lazy" if rng.random() < 0.4 else "aggressive",
