@@ -137,12 +137,17 @@ def _machine(workload: Workload, *, process: bool = False) -> VirtualMachine:
     kwargs = dict(workload.machine)
     if process:
         # The process backend honours only these knobs (its cost and
-        # network are real, and it implements no lazy/checkpoint/
-        # migration policies).
+        # network are real, and it implements no lazy/checkpoint
+        # policies).
         kwargs = {
             key: value
             for key, value in kwargs.items()
-            if key in ("gvt_interval", "optimism_window")
+            if key in (
+                "gvt_interval",
+                "optimism_window",
+                "migration_threshold",
+                "migration_fraction",
+            )
         }
     return VirtualMachine(num_nodes=workload.k, **kwargs)
 

@@ -61,6 +61,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="process backend: survive up to N crashes per "
                         "node by restarting from the last checkpoint epoch "
                         "(requires --checkpoint-interval)")
+    parser.add_argument("--migration-threshold", type=float, default=None,
+                        dest="migration_threshold", metavar="R",
+                        help="adaptive LP migration: at each GVT epoch move "
+                        "loosely-attached hot LPs to the idlest node when "
+                        "the busiest node's busy window exceeds R times the "
+                        "idlest's (R > 1; both backends)")
+    parser.add_argument("--migration-fraction", type=float, default=None,
+                        dest="migration_fraction", metavar="F",
+                        help="max fraction of the busiest node's LPs moved "
+                        "per migration epoch (default 0.05)")
     parser.add_argument("--metrics", action="store_true",
                         help="collect harness metrics and print them at exit")
 
@@ -83,6 +93,10 @@ def _runner(args: argparse.Namespace) -> ExperimentRunner:
         overrides["checkpoint_interval"] = args.checkpoint_interval
     if getattr(args, "max_restarts", None) is not None:
         overrides["max_restarts"] = args.max_restarts
+    if getattr(args, "migration_threshold", None) is not None:
+        overrides["migration_threshold"] = args.migration_threshold
+    if getattr(args, "migration_fraction", None) is not None:
+        overrides["migration_fraction"] = args.migration_fraction
     if getattr(args, "metrics", False):
         overrides["metrics_enabled"] = True
     config = ExperimentConfig.from_env(**overrides)

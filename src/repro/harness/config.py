@@ -20,6 +20,11 @@ circuits (DESIGN.md §5). Environment overrides:
   epochs; virtual backend: periodic state saving);
 - ``REPRO_TW_RESTARTS=n`` — per-node restart budget for the process
   backend (needs ``REPRO_TW_CKPT``);
+- ``REPRO_TW_MIGRATE=ratio`` — adaptive LP migration threshold (> 1):
+  at each GVT epoch the busiest node sheds LPs toward the idlest when
+  its busy window exceeds *ratio* times the idlest's (both backends);
+- ``REPRO_TW_MIGRATE_FRACTION=f`` — max fraction of the busiest
+  node's LPs moved per migration epoch (default 0.05);
 - ``REPRO_METRICS=1`` — collect and print harness-level metrics.
 """
 
@@ -102,6 +107,15 @@ class ExperimentConfig:
     #: Where the process backend keeps its checkpoint epoch files
     #: (None = a temporary directory per run).
     checkpoint_dir: str | None = None
+    #: Adaptive LP migration: at each GVT epoch, when the busiest
+    #: node's busy window exceeds this ratio times the idlest node's,
+    #: loosely-attached hot LPs migrate toward the idlest node.  Must
+    #: be > 1; None disables migration (static partitions, as in the
+    #: paper).  Honoured by both backends.
+    migration_threshold: float | None = None
+    #: At most this fraction of the busiest node's LPs moves per
+    #: migration epoch.
+    migration_fraction: float = 0.05
     #: Collect counters/timers in the harness (printed by the CLI).
     metrics_enabled: bool = False
     tw_costs: TimeWarpCostModel = field(default_factory=TimeWarpCostModel)
@@ -134,6 +148,16 @@ class ExperimentConfig:
                 "max_restarts needs checkpoint_interval: restarts resume "
                 "from periodic checkpoint epochs"
             )
+        if (
+            self.migration_threshold is not None
+            and self.migration_threshold <= 1.0
+        ):
+            raise ConfigError(
+                "migration_threshold must be > 1 (or None): a ratio at or "
+                "below 1 would migrate on every epoch"
+            )
+        if not 0.0 < self.migration_fraction <= 1.0:
+            raise ConfigError("migration_fraction must be in (0, 1]")
 
     @property
     def optimism_window(self) -> int | None:
@@ -170,6 +194,15 @@ class ExperimentConfig:
         if "REPRO_TW_RESTARTS" in os.environ:
             overrides.setdefault(
                 "max_restarts", int(os.environ["REPRO_TW_RESTARTS"])
+            )
+        if "REPRO_TW_MIGRATE" in os.environ:
+            overrides.setdefault(
+                "migration_threshold", float(os.environ["REPRO_TW_MIGRATE"])
+            )
+        if "REPRO_TW_MIGRATE_FRACTION" in os.environ:
+            overrides.setdefault(
+                "migration_fraction",
+                float(os.environ["REPRO_TW_MIGRATE_FRACTION"]),
             )
         if os.environ.get("REPRO_METRICS") == "1":
             overrides.setdefault("metrics_enabled", True)

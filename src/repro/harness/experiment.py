@@ -172,6 +172,8 @@ class ExperimentRunner:
                 gvt_interval=self.config.gvt_interval,
                 optimism_window=self.config.optimism_window,
                 checkpoint_interval=self.config.checkpoint_interval,
+                migration_threshold=self.config.migration_threshold,
+                migration_fraction=self.config.migration_fraction,
             )
             trace_path = self._next_trace_path()
             quad = (

@@ -32,7 +32,12 @@ from repro.warped import (
 
 #: Machine knobs the process backend honours (the rest model policies
 #: it does not implement and are dropped when building its machine).
-_PROCESS_MACHINE_KEYS = ("optimism_window", "gvt_interval")
+_PROCESS_MACHINE_KEYS = (
+    "optimism_window",
+    "gvt_interval",
+    "migration_threshold",
+    "migration_fraction",
+)
 
 
 def run_case(case: dict) -> list[str]:

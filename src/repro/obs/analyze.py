@@ -207,6 +207,43 @@ def recovery_summary(records: list[dict]) -> dict:
 
 
 # ----------------------------------------------------------------------
+# adaptive migration
+# ----------------------------------------------------------------------
+def migration_summary(records: list[dict]) -> dict:
+    """Adaptive-repartitioning accounting from ``migr`` records.
+
+    Each record is one migration event: the shedding node, the
+    adopter, how many LPs moved, how many pending events travelled
+    with them, and the GVT the decision was taken at.  The per-edge
+    table (``src -> dst``) shows where load kept flowing — a single
+    dominant edge means one statically overloaded node, a cycle means
+    thrash.
+    """
+    migrations = 0
+    lps_moved = 0
+    pending_moved = 0
+    edges: dict[tuple[int, int], int] = {}
+    events = []
+    for record in records:
+        if record.get("kind") != "migr":
+            continue
+        migrations += 1
+        lps = int(record.get("lps", 0))
+        lps_moved += lps
+        pending_moved += int(record.get("pending", 0))
+        edge = (int(record.get("src", -1)), int(record.get("dst", -1)))
+        edges[edge] = edges.get(edge, 0) + lps
+        events.append(record)
+    return {
+        "migrations": migrations,
+        "lps_moved": lps_moved,
+        "pending_moved": pending_moved,
+        "edges": edges,
+        "events": events,
+    }
+
+
+# ----------------------------------------------------------------------
 # wall-time attribution
 # ----------------------------------------------------------------------
 def wall_time_attribution(records: list[dict]) -> dict:
@@ -259,6 +296,7 @@ def analyze_trace(
         },
         "attribution": wall_time_attribution(records),
         "recovery": recovery_summary(records),
+        "migration": migration_summary(records),
         "critical_path": None,
     }
     if circuit is not None:
@@ -335,6 +373,17 @@ def render_analysis(analysis: dict, *, title: str = "trace") -> str:
                 f"    restart -> attempt {record.get('to_attempt')}: "
                 f"nodes {record.get('failed')} failed, {resumed}"
             )
+    migration = analysis.get("migration")
+    if migration and migration["migrations"]:
+        lines.append(
+            f"  migration: {migration['lps_moved']} LPs rehomed over "
+            f"{migration['migrations']} epochs "
+            f"({migration['pending_moved']} pending events travelled)"
+        )
+        for (src, dst), lps in sorted(
+            migration["edges"].items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"    node {src} -> node {dst}: {lps} LPs")
     path = analysis.get("critical_path")
     if path is not None:
         lines.append(
@@ -420,6 +469,7 @@ def scorecard_row(result, assignment, records: list[dict]) -> dict:
         "cascades": len(cascades),
         "max_chain_depth": max((c.chain_depth for c in cascades), default=0),
         "efficiency": result.efficiency,
+        "migrations": getattr(result, "migrations", 0),
         "reconciled": True,
     }
 
@@ -429,7 +479,7 @@ def render_scorecard(rows: list[dict], *, title: str = "scorecard") -> str:
     header = (
         f"{'algorithm':<14s} {'cut':>5s} {'bLPs':>5s} {'T(s)':>8s} "
         f"{'remote%':>8s} {'rb':>6s} {'wasted':>7s} {'rb/cut':>7s} "
-        f"{'casc':>5s} {'chain':>6s} {'eff':>6s}"
+        f"{'casc':>5s} {'chain':>6s} {'eff':>6s} {'migr':>5s}"
     )
     lines = [f"{title} — every rollback cascade-attributed, totals reconciled",
              header]
@@ -440,6 +490,6 @@ def render_scorecard(rows: list[dict], *, title: str = "scorecard") -> str:
             f"{row['remote_ratio']:>7.1%} {row['rollbacks']:>6d} "
             f"{row['rolled_back']:>7d} {row['rollbacks_per_cut_edge']:>7.2f} "
             f"{row['cascades']:>5d} {row['max_chain_depth']:>6d} "
-            f"{row['efficiency']:>6.2f}"
+            f"{row['efficiency']:>6.2f} {row.get('migrations', 0):>5d}"
         )
     return "\n".join(lines)

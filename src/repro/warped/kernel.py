@@ -534,7 +534,7 @@ class TimeWarpSimulator:
             for i in range(n_nodes):
                 busy_at_last_sample[i] = busy[i]
             if migrating and gvt < GVT_END:
-                migrate_load()
+                migrate_load(gvt)
             if tracer is not None:
                 tracer.emit(
                     "gvt_round",
@@ -546,7 +546,7 @@ class TimeWarpSimulator:
                 )
             return gvt
 
-        def migrate_load() -> None:
+        def migrate_load(gvt: float) -> None:
             """Move the hottest LPs from the busiest to the idlest node.
 
             Runs inside a GVT round: everything below GVT is committed,
@@ -562,7 +562,15 @@ class TimeWarpSimulator:
             cold = min(range(n_nodes), key=lambda i: (window[i], i))
             if hot == cold:
                 return
-            if window[hot] <= migration_threshold * max(window[cold], 1e-9):
+            # Two gates, both required. The absolute floor first: when
+            # the cold node sat idle (window 0) any nonzero hot window
+            # would pass a pure ratio test and LPs would thrash back
+            # and forth every round; a move must at least pay for its
+            # own transfer cost to be worth considering. Then the
+            # ratio: the imbalance must exceed the configured factor.
+            if window[hot] < cost.migrate_lp_cost:
+                return
+            if window[hot] <= migration_threshold * window[cold]:
                 return
             residents = [
                 lp_.gate.index for lp_ in lps if lp_.node == hot
@@ -594,8 +602,10 @@ class TimeWarpSimulator:
             moved_set = set(moving)
             for gate_index in moving:
                 lps[gate_index].node = cold
+            pending_moved = 0
             for msg in queues[hot].extract_dests(moved_set):
                 queues[cold].push(msg)
+                pending_moved += 1
             transfer = cost.migrate_lp_cost * len(moving)
             wall[hot] += transfer
             busy[hot] += transfer
@@ -606,6 +616,16 @@ class TimeWarpSimulator:
             counters["migrations"] += len(moving)
             node_stats[hot].num_lps -= len(moving)
             node_stats[cold].num_lps += len(moving)
+            if tracer is not None:
+                tracer.emit(
+                    "migr",
+                    node=hot,
+                    src=hot,
+                    dst=cold,
+                    lps=len(moving),
+                    pending=pending_moved,
+                    gvt=float(gvt),
+                )
             # Decay activity so the score tracks RECENT load; lazy —
             # every LP folds the halving in on its next touch.
             decay_epoch += 1

@@ -92,6 +92,8 @@ from repro.warped.parallel.protocol import (
     DONE,
     ERROR,
     GVT,
+    MIGCMD,
+    MIGRATE,
     MSG,
     RESUME,
     TOKEN,
@@ -141,6 +143,11 @@ _STATUS_INTERVAL = 0.1
 #: as a restartable node failure).
 _PUT_RETRIES = 10
 _PUT_BACKOFF = 0.005
+#: Adaptive migration fires only when the hottest node processed at
+#: least this many events since its previous load fold — wall-clock
+#: busy windows on a real host are noisy at startup (imports, page
+#: faults), and a migration that moves no real work just thrashes LPs.
+_MIN_MIGRATION_EVENTS = 32
 
 
 # ----------------------------------------------------------------------
@@ -323,6 +330,8 @@ class NodeLoop:
         ckpt_dir: str | None = None,
         attempt: int = 0,
         control=None,
+        migration_threshold: float | None = None,
+        migration_fraction: float = 0.05,
     ) -> None:
         self.node = node
         self.num_nodes = num_nodes
@@ -381,6 +390,27 @@ class NodeLoop:
         self.status_path = status_path
         self._status_last = 0.0
         self._start = time.perf_counter()
+        #: Adaptive LP migration (None disables).  Every token fold
+        #: also folds this node's busy window since its last applied
+        #: GVT into the token; when a round concludes, node 0 reads the
+        #: hottest and coldest node off the token and — if the imbalance
+        #: clears the threshold — orders the hot node to shed LPs via
+        #: MIGCMD/MIGRATE (see DESIGN.md §6).
+        self.migration_threshold = migration_threshold
+        self.migration_fraction = migration_fraction
+        self.migrating = migration_threshold is not None
+        #: Busy clock / event count at the last applied GVT broadcast —
+        #: the baseline of the busy window the load fold reports.
+        self._busy_at_gvt = 0.0
+        self._events_at_gvt = 0
+        #: Computation id of the newest applied GVT broadcast.  An
+        #: LP-carrying MIGRATE for epoch C adopts only once the GVT
+        #: broadcast of C has been applied here — so the epoch-C
+        #: checkpoint this node writes inside that application is
+        #: always *pre*-adoption, matching the sender's pre-extraction
+        #: epoch-C snapshot (the consistency recovery needs).
+        self._last_applied_cid = 0
+        self._pending_adoptions: list[tuple] = []
         self.clerk = GvtClerk(node=node)
         self.gvt = 0.0
         self.done = False
@@ -472,6 +502,17 @@ class NodeLoop:
         t = self.engine.min_pending()
         return T_INF if t is None else float(t)
 
+    def fold_token(self, token: GvtToken) -> None:
+        """Fold this node's GVT contribution — and, with migration on,
+        its busy window since the last applied broadcast — into *token*."""
+        self.clerk.fold_token(token, self.local_min())
+        if self.migrating:
+            token.fold_load(
+                self.node,
+                int((self.busy - self._busy_at_gvt) * 1e6),
+                self.engine.counters["events"] - self._events_at_gvt,
+            )
+
     # -- GVT -----------------------------------------------------------
     def apply_gvt(self, cid: int, value: float) -> None:
         """Fossil-collect at *value* and reset per-round bookkeeping."""
@@ -483,6 +524,10 @@ class NodeLoop:
         self.since_gvt = 0
         self.clerk.forget_before(cid)
         self.gvt_rounds_seen += 1
+        self._last_applied_cid = max(self._last_applied_cid, cid)
+        if self.migrating:
+            self._busy_at_gvt = self.busy
+            self._events_at_gvt = self.engine.counters["events"]
         if value == T_INF:
             self.done = True
         else:
@@ -507,6 +552,18 @@ class NodeLoop:
             )
         if self.status_path is not None:
             self.write_status()
+        if self._pending_adoptions:
+            # Deferred LP adoptions whose epoch barrier this broadcast
+            # just cleared: adopt strictly *after* the epoch-``cid``
+            # checkpoint above, so that snapshot stays pre-adoption
+            # (mirroring the shedder's pre-extraction snapshot).
+            ready = [i for i in self._pending_adoptions if i[3] <= cid]
+            if ready:
+                self._pending_adoptions = [
+                    i for i in self._pending_adoptions if i[3] > cid
+                ]
+                for item in ready:
+                    self._adopt(item)
 
     # -- crash-recovery checkpointing ----------------------------------
     def write_checkpoint(self, cid: int, gvt: float) -> None:
@@ -633,11 +690,22 @@ class NodeLoop:
                     latency=time.perf_counter() - self._round_started,
                     trips=self._round_trips,
                 )
+            decision = self._migration_decision(token, value)
             for other in range(self.num_nodes):
                 if other != self.node:
                     _put_wire(self.inboxes[other], (GVT, token.cid, value))
+            if decision is not None:
+                hot, cold = decision
+                if hot != self.node:
+                    # Same channel as the GVT broadcast the hot node
+                    # just got, so FIFO delivery guarantees it applies
+                    # the GVT (and writes the epoch checkpoint) before
+                    # it extracts and ships a single LP.
+                    _put_wire(self.inboxes[hot], (MIGCMD, token.cid, value, cold))
             self.active_cid = 0
             self.apply_gvt(token.cid, value)
+            if decision is not None and decision[0] == self.node:
+                self.do_migrate(token.cid, value, decision[1])
         else:
             # Whites still in flight: circulate a fresh round of the
             # same computation.  Re-folding this node's contribution is
@@ -646,9 +714,74 @@ class NodeLoop:
             # balance self-consistent (see DESIGN.md §6 for the audit).
             self._round_trips += 1
             fresh = GvtToken(cid=token.cid)
-            self.clerk.fold_token(fresh, self.local_min())
+            self.fold_token(fresh)
             _put_wire(
                 self.inboxes[(self.node + 1) % self.num_nodes], (TOKEN, fresh)
+            )
+
+    # -- adaptive LP migration -----------------------------------------
+    def _migration_decision(self, token: GvtToken, value: float) -> tuple[int, int] | None:
+        """Read the (hot, cold) pair off a conclusive token, or None.
+
+        Only the initiator calls this, right before broadcasting the
+        GVT.  With recovery on, migration epochs coincide with
+        checkpoint epochs (the GVT value must cross a checkpoint mark),
+        so every migration is bracketed by pre-migration snapshots on
+        both sides and a restore can never resurrect an LP twice.
+        """
+        if not self.migrating or not token.conclusive or value == T_INF:
+            return None
+        if self.recovery and int(value // self.ckpt_interval) <= self.ckpt_mark:
+            return None
+        hot, cold = token.busy_max_node, token.busy_min_node
+        if hot < 0 or cold < 0 or hot == cold:
+            return None
+        if token.ev_max < _MIN_MIGRATION_EVENTS:
+            return None  # too little signal to call anyone "hot"
+        if token.busy_max <= self.migration_threshold * max(token.busy_min, 0):
+            return None
+        return hot, cold
+
+    def do_migrate(self, cid: int, value: float, dest: int) -> None:
+        """Hot node: extract loosely-attached LPs and ship them to *dest*.
+
+        Runs strictly after this node applied the GVT broadcast of
+        *cid* (wrote its pre-migration checkpoint).  The MIGRATE blob
+        is clerk-colored like an application message, so no GVT round
+        — and hence no checkpoint epoch — can conclude while it is in
+        flight; it is *not* sequence-logged, because a restore to epoch
+        ``cid`` lands pre-migration on both ends and simply re-decides.
+        """
+        if self.batched:
+            self.flush_wire()
+        payload = self.engine.extract_migrants(dest, self.migration_fraction, cid)
+        if payload is None:
+            return
+        color = self.clerk.note_send(int(value))
+        _put_wire(self.inboxes[dest], (MIGRATE, color, self.node, cid, payload))
+        if self.tracer is not None:
+            self.tracer.emit(
+                "migr",
+                src=self.node,
+                dst=dest,
+                lps=len(payload["gates"]),
+                pending=len(payload["queue"]),
+                gvt=float(value),
+            )
+
+    def _adopt(self, item) -> None:
+        """Adopt a MIGRATE blob and announce the new ownership ring-wide."""
+        _, color, src, cid, payload = item
+        self.clerk.note_receive(color)
+        gates = self.engine.adopt_migrants(payload, src, cid)
+        announcement = {"gates": gates, "owner": self.node}
+        for other in range(self.num_nodes):
+            if other == self.node or other == src:
+                continue
+            ann_color = self.clerk.note_send(int(self.gvt))
+            _put_wire(
+                self.inboxes[other],
+                (MIGRATE, ann_color, self.node, cid, announcement),
             )
 
     def maybe_initiate(self) -> None:
@@ -672,7 +805,7 @@ class NodeLoop:
             self._round_started = now
             self._round_trips = 1
             token = GvtToken(cid=self.active_cid)
-            self.clerk.fold_token(token, self.local_min())
+            self.fold_token(token)
             if self.num_nodes == 1:
                 self.conclude(token)
             else:
@@ -707,7 +840,7 @@ class NodeLoop:
             if self.node == 0 and token.cid == self.active_cid:
                 self.conclude(token)  # the round came home
             else:
-                self.clerk.fold_token(token, self.local_min())
+                self.fold_token(token)
                 _put_wire(
                     self.inboxes[(self.node + 1) % self.num_nodes],
                     (TOKEN, token),
@@ -719,6 +852,31 @@ class NodeLoop:
                 # logged nor clerk-counted yet).
                 self.flush_wire()
             self.apply_gvt(item[1], item[2])
+        elif tag == MIGCMD:
+            # Initiator's verdict: this node ran hottest over the epoch
+            # just concluded — shed LPs to the coldest.  FIFO with the
+            # GVT broadcast on the same channel, so the epoch
+            # checkpoint is already written by the time this arrives.
+            _, cid, value, dest = item
+            self.do_migrate(cid, value, dest)
+        elif tag == MIGRATE:
+            payload = item[4]
+            if "lps" not in payload:
+                # Ownership announcement: apply immediately.  The map
+                # may briefly run ahead of a peer's, but forwarding
+                # makes stale routing harmless, and the blob's white
+                # imbalance stalls every GVT round until it lands.
+                self.clerk.note_receive(item[1])
+                self.engine.apply_ownership(
+                    payload["gates"], payload["owner"], item[3]
+                )
+            elif item[3] <= self._last_applied_cid:
+                self._adopt(item)
+            else:
+                # The LP blob outran the GVT broadcast of its epoch
+                # (cross-channel, so no FIFO guarantee): park it until
+                # apply_gvt writes the pre-adoption checkpoint.
+                self._pending_adoptions.append(item)
         elif tag == RESUME:
             # Parent-replayed in-flight message of the restored epoch:
             # identical to receiving the original MSG, including the
@@ -805,12 +963,15 @@ def _worker_main(
     trace_epoch: float,
     status_base: str | None = None,
     recovery: dict | None = None,
+    migration: tuple[float | None, float] = (None, 0.05),
 ) -> None:
     """Entry point of one node process.
 
     *recovery* (set iff checkpointing is on) carries ``attempt``,
     ``interval``, ``dir``, and — on a restart — this node's restore
-    ``payload`` plus the ring-wide ``cid_base``.
+    ``payload`` plus the ring-wide ``cid_base``.  *migration* is the
+    ``(threshold, fraction)`` pair of the adaptive-repartitioning
+    policy (threshold None = static assignment, the default).
     """
     attempt = recovery["attempt"] if recovery else 0
     try:
@@ -820,7 +981,7 @@ def _worker_main(
             node, num_nodes, circuit, assignment, stimulus,
             optimism_window, gvt_interval, max_events,
             inboxes, result_queue, trace_base, trace_epoch, status_base,
-            recovery,
+            recovery, migration,
         )
     except BaseException:  # noqa: BLE001 - ship the diagnosis to the parent
         result_queue.put((ERROR, node, traceback.format_exc()))
@@ -857,6 +1018,7 @@ def _run_node(
     trace_epoch: float,
     status_base: str | None = None,
     recovery: dict | None = None,
+    migration: tuple[float | None, float] = (None, 0.05),
 ) -> None:
     start = time.perf_counter()
     attempt = recovery["attempt"] if recovery else 0
@@ -871,6 +1033,7 @@ def _run_node(
             circuit, assignment, node, num_nodes, stimulus,
             optimism_window=optimism_window, max_events=max_events,
             tracer=tracer,
+            migration_enabled=migration[0] is not None,
         )
         loop = NodeLoop(
             node, num_nodes, engine, inboxes,
@@ -880,6 +1043,8 @@ def _run_node(
             ckpt_dir=recovery["dir"] if recovery else None,
             attempt=attempt,
             control=result_queue if recovery else None,
+            migration_threshold=migration[0],
+            migration_fraction=migration[1],
         )
         for mode, arg in _worker_faults(node, attempt):
             if mode == "exit-at":
@@ -1028,10 +1193,11 @@ class ProcessTimeWarpSimulator:
 
     Accepts the same (circuit, assignment, stimulus, machine) quadruple
     as the virtual backend.  The machine's ``num_nodes``,
-    ``gvt_interval``, ``optimism_window`` and ``checkpoint_interval``
-    govern the run; its cost and network models are ignored (this
-    backend measures real time).  Policies the process backend does not
-    implement (lazy cancellation, LP migration) are rejected up front;
+    ``gvt_interval``, ``optimism_window``, ``checkpoint_interval`` and
+    ``migration_threshold``/``migration_fraction`` govern the run; its
+    cost and network models are ignored (this backend measures real
+    time).  Policies the process backend does not implement (lazy
+    cancellation) are rejected up front;
     ``checkpoint_interval`` selects periodic consistent checkpointing,
     which here drives crash-recovery epochs rather than rollback state
     saving (the process backend always saves LP state incrementally).
@@ -1083,8 +1249,6 @@ class ProcessTimeWarpSimulator:
             raise ConfigError(
                 "process backend implements aggressive cancellation only"
             )
-        if machine.migration_threshold is not None:
-            raise ConfigError("process backend does not migrate LPs")
         if max_restarts < 0:
             raise ConfigError("max_restarts must be >= 0")
         if max_restarts > 0 and machine.checkpoint_interval is None:
@@ -1289,6 +1453,10 @@ class ProcessTimeWarpSimulator:
                         self.machine.gvt_interval, self.max_events,
                         inboxes, results, self.trace_path, trace_epoch,
                         self.status_path, recovery,
+                        (
+                            self.machine.migration_threshold,
+                            self.machine.migration_fraction,
+                        ),
                     ),
                     daemon=True,
                     name=f"timewarp-node-{node}",
@@ -1498,7 +1666,7 @@ class ProcessTimeWarpSimulator:
             gvt_rounds=payloads[0]["gvt_rounds"],
             lazy_reuses=0,
             peak_history=sum(p["peak_history"] for p in payloads.values()),
-            migrations=0,
+            migrations=totals["migrations_out"],
             final_values=final_values,
             node_stats=node_stats,
             committed_captures=sorted(

@@ -46,6 +46,7 @@ class NodeEngine:
         optimism_window: int | None = None,
         max_events: int = 50_000_000,
         tracer=None,
+        migration_enabled: bool = False,
     ) -> None:
         self.circuit = circuit
         self.assignment = assignment
@@ -86,9 +87,21 @@ class NodeEngine:
             "app_messages": 0,
             "anti_messages": 0,
             "local_messages": 0,
+            "migrations_out": 0,
+            "migrations_in": 0,
+            "forwarded": 0,
         }
         # Globally unique uids without coordination: stride by node.
         self._uid_next = node + 1
+        #: With adaptive migration on, a message for a gate this node
+        #: does not own is *forwarded* to the gate's current owner
+        #: instead of being a protocol violation (the sender may hold a
+        #: stale ownership map for one epoch).
+        self.migration_enabled = migration_enabled
+        #: Epoch (computation id) of the newest ownership update
+        #: applied per gate — a stale announcement never overwrites a
+        #: newer one, whatever order the wire delivers them in.
+        self._owner_version: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def _next_uid(self) -> int:
@@ -220,12 +233,25 @@ class NodeEngine:
     # the worker loop's surface
     # ------------------------------------------------------------------
     def handle_remote(self, msg: Message) -> None:
-        """Ingest one message delivered by the transport."""
+        """Ingest one message delivered by the transport.
+
+        A message for a gate this node does not own is a protocol
+        violation under static partitioning; with migration enabled it
+        is a legal stale-map delivery (the sender had not yet seen the
+        gate's newest ownership announcement) and is forwarded to the
+        current owner.  The forwarding chain follows the finite
+        migration history of the gate, so it terminates at whichever
+        node hosts the LP now.
+        """
         if self.owner(msg.dest) != self.node:
-            raise SimulationError(
-                f"node {self.node} received message for gate {msg.dest} "
-                f"owned by node {self.owner(msg.dest)}"
-            )
+            if not self.migration_enabled:
+                raise SimulationError(
+                    f"node {self.node} received message for gate {msg.dest} "
+                    f"owned by node {self.owner(msg.dest)}"
+                )
+            self.outbox.append((self.owner(msg.dest), msg))
+            self.counters["forwarded"] += 1
+            return
         if msg.sign == ANTI:
             self._apply_cancel(msg)
         else:
@@ -321,6 +347,121 @@ class NodeEngine:
                 )
 
     # ------------------------------------------------------------------
+    # adaptive migration (see repro.warped.parallel.backend)
+    # ------------------------------------------------------------------
+    def select_migrants(self, fraction: float) -> list[int]:
+        """Pick which resident gates to shed, hottest-node side.
+
+        Same policy as the virtual kernel's ``migrate_load``: prefer
+        LPs *loosely attached* to this node (few co-located fanin or
+        fanout neighbours — moving them grows the cut least), then
+        higher recent activity (uncommitted history size — so the move
+        transfers real work), bounded by *fraction* of the residents
+        and never stripping the node bare.
+        """
+        residents = sorted(self.lps)
+        if len(residents) <= 1:
+            return []
+        budget = max(1, round(len(residents) * fraction))
+        budget = min(budget, len(residents) - 1)
+        resident_set = set(residents)
+        gates = self.circuit.gates
+
+        def attachment(gate_index: int) -> int:
+            gate = gates[gate_index]
+            return sum(
+                1
+                for other in (*gate.fanin, *gate.fanout)
+                if other in resident_set
+            )
+
+        residents.sort(
+            key=lambda g: (attachment(g), -len(self.lps[g].processed), g)
+        )
+        return residents[:budget]
+
+    def extract_migrants(self, dest_node: int, fraction: float, version: int):
+        """Strip the selected LPs out of this engine for *dest_node*.
+
+        Returns the MIGRATE payload dict (``None`` when nothing should
+        move): per-LP state exactly as :meth:`snapshot_state` packs it,
+        the LPs' pending events, any anti-messages still waiting for
+        their positive copies, and their capture-log entries.  This
+        engine's ownership map is updated in the same step, so any
+        event the remaining LPs emit toward a moved gate is routed (or
+        forwarded) to *dest_node* from here on.
+        """
+        moving = self.select_migrants(fraction)
+        if not moving:
+            return None
+        moved_set = set(moving)
+        states = {}
+        for index in moving:
+            lp = self.lps.pop(index)
+            states[index] = (
+                list(lp._fanin_values),
+                lp.output_value,
+                lp.last_key,
+                lp.processed,
+                lp.emission_seq,
+            )
+        pending = self.queue.extract_dests(moved_set)
+        antis = {
+            uid: msg
+            for uid, msg in self._waiting_antis.items()
+            if msg.dest in moved_set
+        }
+        for uid in antis:
+            del self._waiting_antis[uid]
+        captures = {
+            key: value
+            for key, value in self.capture_log.items()
+            if key[0] in moved_set
+        }
+        for key in captures:
+            del self.capture_log[key]
+        self.apply_ownership(moving, dest_node, version)
+        self.counters["migrations_out"] += len(moving)
+        self.stats.num_lps = len(self.lps)
+        return {
+            "gates": moving,
+            "lps": states,
+            "queue": pending,
+            "waiting_antis": antis,
+            "capture_log": captures,
+        }
+
+    def adopt_migrants(self, payload: dict, src: int, version: int) -> list[int]:
+        """Install migrated LPs shipped by *src*; returns their gates."""
+        gates = payload["gates"]
+        for index, state in payload["lps"].items():
+            fanin, out, last_key, processed, eseq = state
+            lp = LogicalProcess(self.circuit.gates[index], self.node)
+            lp._fanin_values = fanin
+            lp.output_value = out
+            lp.last_key = last_key
+            lp.processed = processed
+            lp.processed_uids = {record.msg.uid for record in processed}
+            lp.emission_seq = eseq
+            self.lps[index] = lp
+        for msg in payload["queue"]:
+            self.queue.push(msg)
+        self._waiting_antis.update(payload["waiting_antis"])
+        self.capture_log.update(payload["capture_log"])
+        self.apply_ownership(gates, self.node, version)
+        self.counters["migrations_in"] += len(gates)
+        self.stats.num_lps = len(self.lps)
+        return gates
+
+    def apply_ownership(self, gates, owner: int, version: int) -> None:
+        """Apply an ownership announcement, ignoring stale versions."""
+        versions = self._owner_version
+        for gate_index in gates:
+            if version >= versions.get(gate_index, -1):
+                self.assignment[gate_index] = owner
+                versions[gate_index] = version
+
+    # ------------------------------------------------------------------
     # checkpoint/restart (see repro.warped.parallel.recovery)
     # ------------------------------------------------------------------
     def snapshot_state(self) -> dict:
@@ -348,6 +489,13 @@ class NodeEngine:
             "stats": self.stats,
             "peak_history": self.peak_history,
             "uid_next": self._uid_next,
+            # Migration moves LPs between nodes at epoch boundaries, so
+            # residency is run-time state: the ownership map and its
+            # per-gate versions are part of every snapshot, and restore
+            # rebuilds the LP set from the snapshot rather than from
+            # the static partition.
+            "assignment": list(self.assignment),
+            "owner_version": dict(self._owner_version),
         }
 
     def restore_state(self, snap: dict) -> None:
@@ -357,6 +505,15 @@ class NodeEngine:
         snapshot's pending queue already holds whatever of the initial
         schedule was still unprocessed at the epoch.
         """
+        self.assignment[:] = snap["assignment"]
+        self._owner_version = dict(snap["owner_version"])
+        # Residency at the epoch may differ from the static partition
+        # this engine was constructed with (LPs migrate): the LP set is
+        # whatever the snapshot holds.
+        self.lps = {
+            index: LogicalProcess(self.circuit.gates[index], self.node)
+            for index in snap["lps"]
+        }
         for index, (fanin, out, last_key, processed, eseq) in snap["lps"].items():
             lp = self.lps[index]
             lp._fanin_values = fanin

@@ -49,6 +49,17 @@ ERROR = "error"    # ("error", node, traceback_str)    node -> parent
 #: the messages that were in flight across the restore cut.
 CKPT = "ckpt"      # ("ckpt", node, cid, gvt)          node -> parent
 RESUME = "resume"  # ("resume", src, chan_seq, color, Message)  parent -> node
+#: Adaptive-migration tags.  The token's load fold tells node 0 which
+#: node ran hottest/coldest over the concluded round; node 0 orders the
+#: hot node to shed LPs (``MIGCMD``, sent on the same FIFO channel as
+#: the GVT broadcast so the hot node applies the GVT first), and the
+#: hot node ships them in one ``MIGRATE`` blob.  A ``MIGRATE`` with
+#: ``payload=None`` is an ownership announcement: the adopting node
+#: broadcasts the new (gates, owner, version) triple to every other
+#: node after it has adopted, so any node that learns the new owner
+#: learns it only once the owner can accept forwarded traffic.
+MIGCMD = "migcmd"    # ("migcmd", cid, gvt, dest)        node 0 -> hot node
+MIGRATE = "migrate"  # ("migrate", color, src, cid, payload)  node -> node
 
 #: Virtual-time infinity (quiescence) on the wire.
 T_INF = float("inf")
@@ -56,12 +67,28 @@ T_INF = float("inf")
 
 @dataclass
 class GvtToken:
-    """One circulating GVT token (one round of one computation)."""
+    """One circulating GVT token (one round of one computation).
+
+    Besides the Mattern accumulators the token carries a *load fold*:
+    a running argmax/argmin over each visited node's busy window (CPU
+    time spent processing events since the node's previous fold, in
+    integer microseconds so the fold packs into the shm transport's
+    fixed-width i64 slots) plus the event count of the argmax node.
+    When the round concludes, node 0 reads the hottest and coldest
+    node straight off the token — the migration decision needs no
+    extra collection round.
+    """
 
     cid: int              # computation id, strictly increasing
     m_clock: float = T_INF  # min pending virtual time seen this round
     m_send: float = T_INF   # min timestamp sent with color == cid
     count: int = 0          # white (color < cid) sent - received
+    # -- load fold (µs busy windows; node -1 = nothing folded yet) ----
+    busy_max: int = -1
+    busy_max_node: int = -1
+    ev_max: int = 0         # events in the argmax node's window
+    busy_min: int = -1
+    busy_min_node: int = -1
 
     def fold(self, local_min: float, red_min: float, white_balance: int) -> None:
         """Accumulate one node's contribution into the token."""
@@ -70,6 +97,27 @@ class GvtToken:
         if red_min < self.m_send:
             self.m_send = red_min
         self.count += white_balance
+
+    def fold_load(self, node: int, busy_us: int, events: int) -> None:
+        """Fold one node's busy window into the hot/cold running fold.
+
+        Ties break toward the lower node id on both sides, matching
+        the virtual kernel's ``(window, -i)`` hot and ``(window, i)``
+        cold keys.
+        """
+        if busy_us > self.busy_max or (
+            busy_us == self.busy_max and node < self.busy_max_node
+        ):
+            self.busy_max = busy_us
+            self.busy_max_node = node
+            self.ev_max = events
+        if (
+            self.busy_min_node < 0
+            or busy_us < self.busy_min
+            or (busy_us == self.busy_min and node < self.busy_min_node)
+        ):
+            self.busy_min = busy_us
+            self.busy_min_node = node
 
     @property
     def conclusive(self) -> bool:

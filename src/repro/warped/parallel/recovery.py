@@ -38,6 +38,19 @@ protocol would break.  The parent therefore rolls the whole ring back to
 the last complete epoch (Time Warp's dual of coordinated checkpointing);
 the crash of one node costs the cluster the work since that epoch and
 nothing else.
+
+Runtime LP migration composes with this by construction rather than by
+extra machinery.  Snapshots capture each engine's *current* gate
+residency (the ``assignment`` map and its ``owner_version``), so a
+restored epoch restores whatever ownership the migrations before it had
+established.  Migration decisions are only taken at checkpoint-epoch
+boundaries when recovery is on, and an LP-carrying ``MIGRATE`` record is
+adopted only after its epoch's GVT (and therefore its snapshot) has been
+applied — an epoch can never cut a migration in half.  ``MIGRATE`` and
+``MIGCMD`` records are deliberately *not* send-log-replayed: a lost
+command merely skips one rebalance round, and a lost LP transfer is
+impossible because the white-message balance keeps any epoch from
+concluding while one is in flight.
 """
 
 from __future__ import annotations

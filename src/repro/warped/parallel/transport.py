@@ -59,6 +59,7 @@ pair in its input queue, an interleaving Time Warp already tolerates.
 from __future__ import annotations
 
 import os
+import pickle
 import queue as queue_mod
 import select
 import struct
@@ -72,6 +73,8 @@ from repro.warped.messages import ANTI, POSITIVE, Message
 from repro.warped.parallel.protocol import (
     CKPT,
     GVT,
+    MIGCMD,
+    MIGRATE,
     MSG,
     RESUME,
     TOKEN,
@@ -95,6 +98,14 @@ _TAG_TOKEN = 2
 _TAG_GVT = 3
 _TAG_CKPT = 4
 _TAG_RESUME = 5
+_TAG_MIGCMD = 6
+_TAG_MIGR = 7
+
+#: Payload bytes per MIGRATE chunk record: the 10 i64 slots minus the
+#: six header ints (color, src, cid, chunk index, chunk count, chunk
+#: length) leave four slots of 8 bytes each.
+_MIG_HDR_INTS = 6
+_MIG_CHUNK_BYTES = (10 - _MIG_HDR_INTS) * 8
 
 #: Record flag bits.
 _F_ANTI = 0x01    # the carried Message is an anti-message
@@ -105,6 +116,10 @@ _HEADER_SIZE = 32
 _WRITE_OFF = 0
 _READ_OFF = 8
 _CAP_OFF = 16
+
+#: Internal tag of a decoded MIGRATE chunk record (never leaves the
+#: channel: ``get_nowait`` reassembles chunk runs into full tuples).
+_MIGCHUNK = "_migchunk"
 
 
 def _pack(tag: int, flags: int, ints, f0: float = 0.0, f1: float = 0.0) -> bytes:
@@ -145,11 +160,16 @@ def encode_record(item: tuple) -> bytes:
     if tag == TOKEN:
         token = item[1]
         return _pack(
-            _TAG_TOKEN, 0, (token.cid, token.count),
+            _TAG_TOKEN, 0,
+            (token.cid, token.count, token.busy_max, token.busy_max_node,
+             token.ev_max, token.busy_min, token.busy_min_node),
             token.m_clock, token.m_send,
         )
     if tag == GVT:
         return _pack(_TAG_GVT, 0, (item[1],), float(item[2]))
+    if tag == MIGCMD:
+        _, cid, gvt, dest = item
+        return _pack(_TAG_MIGCMD, 0, (cid, dest), float(gvt))
     if tag == CKPT:
         _, node, cid, gvt = item
         return _pack(_TAG_CKPT, 0, (node, cid), float(gvt))
@@ -162,6 +182,46 @@ def encode_record(item: tuple) -> bytes:
              msg.value, msg.dest, msg.uid, src, seq),
         )
     raise ProtocolError(f"cannot encode wire item with tag {tag!r}")
+
+
+def encode_migrate(item: tuple) -> list[bytes]:
+    """Pack one ``MIGRATE`` tuple into its chunked record sequence.
+
+    The payload (LP states + pending events, or ``None`` for an
+    ownership announcement) has no fixed width, so it is pickled and
+    split across :data:`_MIG_CHUNK_BYTES`-byte chunks, each a normal
+    CRC-guarded record.  The chunks must land contiguously in a ring —
+    :meth:`ShmChannel.put_nowait` writes them all-or-nothing — and the
+    consumer reassembles them in :meth:`ShmChannel.get_nowait`.
+    """
+    _, color, src, cid, payload = item
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    nchunks = max(1, (len(blob) + _MIG_CHUNK_BYTES - 1) // _MIG_CHUNK_BYTES)
+    records = []
+    for idx in range(nchunks):
+        chunk = blob[idx * _MIG_CHUNK_BYTES:(idx + 1) * _MIG_CHUNK_BYTES]
+        ints = [color, src, cid, idx, nchunks, len(chunk)]
+        for off in range(0, _MIG_CHUNK_BYTES, 8):
+            ints.append(
+                int.from_bytes(
+                    chunk[off:off + 8].ljust(8, b"\x00"),
+                    "little", signed=True,
+                )
+            )
+        records.append(_pack(_TAG_MIGR, 0, ints))
+    return records
+
+
+def _decode_migrate_chunk(ints) -> tuple:
+    """One MIGRATE chunk record -> (color, src, cid, idx, nchunks, bytes)."""
+    color, src, cid, idx, nchunks, length = ints[:_MIG_HDR_INTS]
+    if not 0 <= length <= _MIG_CHUNK_BYTES:
+        raise ProtocolError(f"migrate chunk length {length} out of range")
+    data = b"".join(
+        value.to_bytes(8, "little", signed=True)
+        for value in ints[_MIG_HDR_INTS:]
+    )[:length]
+    return color, src, cid, idx, nchunks, data
 
 
 def decode_record(data: bytes) -> tuple:
@@ -202,12 +262,22 @@ def decode_record(data: bytes) -> tuple:
     if tag == _TAG_TOKEN:
         return (
             TOKEN,
-            GvtToken(cid=ints[0], m_clock=f0, m_send=f1, count=ints[1]),
+            GvtToken(
+                cid=ints[0], m_clock=f0, m_send=f1, count=ints[1],
+                busy_max=ints[2], busy_max_node=ints[3], ev_max=ints[4],
+                busy_min=ints[5], busy_min_node=ints[6],
+            ),
         )
     if tag == _TAG_GVT:
         return (GVT, ints[0], f0)
     if tag == _TAG_CKPT:
         return (CKPT, ints[0], ints[1], f0)
+    if tag == _TAG_MIGCMD:
+        return (MIGCMD, ints[0], f0, ints[1])
+    if tag == _TAG_MIGR:
+        # One chunk of a MIGRATE blob; the channel consumer reassembles
+        # the contiguous chunk run into the full tuple.
+        return (_MIGCHUNK, *_decode_migrate_chunk(ints))
     raise ProtocolError(f"unknown wire record tag {tag}")
 
 
@@ -362,7 +432,47 @@ class ShmChannel:
         finally:
             self._lock.release()
 
+    def _write_group(self, records: list[bytes]) -> bool:
+        """Append *records* contiguously, all-or-nothing.
+
+        Used for chunked MIGRATE blobs: the consumer reassembles a
+        chunk run by reading consecutive slots, so a partial write
+        (another producer's records splitting the run) would corrupt
+        the blob.  Returns False when the ring lacks the space.
+        """
+        if len(records) > self.capacity:
+            raise ProtocolError(
+                f"migrate blob needs {len(records)} records but the ring "
+                f"holds only {self.capacity}; raise the inbox capacity"
+            )
+        buf = self._ensure()
+        if not self._lock.acquire(timeout=_LOCK_TIMEOUT):
+            raise queue_mod.Full
+        try:
+            write = _CURSOR.unpack_from(buf, _WRITE_OFF)[0]
+            read = _CURSOR.unpack_from(buf, _READ_OFF)[0]
+            was_empty = write <= read
+            if self.capacity - (write - read) < len(records):
+                return False
+            for record in records:
+                slot = _HEADER_SIZE + (write % self.capacity) * RECORD_SIZE
+                buf[slot:slot + RECORD_SIZE] = record
+                write += 1
+            _CURSOR.pack_into(buf, _WRITE_OFF, write)
+            if was_empty and self._wfd is not None:
+                try:
+                    os.write(self._wfd, b"\x01")
+                except OSError:
+                    pass
+            return True
+        finally:
+            self._lock.release()
+
     def put_nowait(self, item: tuple) -> None:
+        if item[0] == MIGRATE:
+            if not self._write_group(encode_migrate(item)):
+                raise queue_mod.Full
+            return
         if self._write([encode_record(item)]) == 0:
             raise queue_mod.Full
 
@@ -379,23 +489,62 @@ class ShmChannel:
 
     def put_batch(self, items: list[tuple]) -> int:
         """Write as many of *items* as fit, in order, under one lock
-        acquisition; returns how many were written."""
+        acquisition; returns how many were written.
+
+        MIGRATE tuples are rejected: their chunk runs need the
+        all-or-nothing path (``put_nowait``), not partial progress.
+        """
         if not items:
             return 0
+        if any(item[0] == MIGRATE for item in items):
+            raise ProtocolError(
+                "MIGRATE must be sent via put_nowait (all-or-nothing), "
+                "not batched"
+            )
         return self._write([encode_record(item) for item in items])
 
     # -- consumer side (single reader, lock-free) ----------------------
+    def _read_slot(self, buf, read: int) -> tuple:
+        slot = _HEADER_SIZE + (read % self.capacity) * RECORD_SIZE
+        data = bytes(buf[slot:slot + RECORD_SIZE])
+        try:
+            return decode_record(data)
+        except ProtocolError:
+            return self._decode_retry(buf, slot)
+
     def get_nowait(self) -> tuple:
         buf = self._ensure()
         read = _CURSOR.unpack_from(buf, _READ_OFF)[0]
         if _CURSOR.unpack_from(buf, _WRITE_OFF)[0] <= read:
             raise queue_mod.Empty
-        slot = _HEADER_SIZE + (read % self.capacity) * RECORD_SIZE
-        data = bytes(buf[slot:slot + RECORD_SIZE])
-        try:
-            item = decode_record(data)
-        except ProtocolError:
-            item = self._decode_retry(buf, slot)
+        item = self._read_slot(buf, read)
+        if item[0] == _MIGCHUNK:
+            # A MIGRATE blob: the producer wrote its chunk run
+            # all-or-nothing and published the cursor after the last
+            # chunk, so once chunk 0 is visible every sibling is too,
+            # contiguously.  Reassemble the run into one tuple.
+            _, color, src, cid, idx, nchunks, data = item
+            if idx != 0:
+                raise ProtocolError(
+                    f"migrate chunk run starts at index {idx}, expected 0"
+                )
+            parts = [data]
+            for offset in range(1, nchunks):
+                chunk = self._read_slot(buf, read + offset)
+                if (
+                    chunk[0] != _MIGCHUNK
+                    or chunk[1:4] != (color, src, cid)
+                    or chunk[4] != offset
+                    or chunk[5] != nchunks
+                ):
+                    raise ProtocolError(
+                        "migrate chunk run interrupted: record "
+                        f"{offset}/{nchunks} is {chunk[0]!r}"
+                    )
+                parts.append(chunk[6])
+            _CURSOR.pack_into(buf, _READ_OFF, read + nchunks)
+            payload = pickle.loads(b"".join(parts))
+            return (MIGRATE, color, src, cid, payload)
         _CURSOR.pack_into(buf, _READ_OFF, read + 1)
         return item
 

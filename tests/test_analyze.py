@@ -327,3 +327,55 @@ class TestTools:
         assert "done" in proc.stdout
         missing = _tool(["tools/tw_top.py", str(tmp_path / "nope"), "--once"])
         assert missing.returncode == 1
+
+
+class TestMigrationSummary:
+    def test_synthetic_records_aggregate(self):
+        from repro.obs.analyze import migration_summary
+
+        records = [
+            {"kind": "migr", "src": 0, "dst": 1, "lps": 2, "pending": 5,
+             "gvt": 60.0},
+            {"kind": "migr", "src": 0, "dst": 1, "lps": 1, "pending": 0,
+             "gvt": 120.0},
+            {"kind": "migr", "src": 2, "dst": 0, "lps": 3, "pending": 7,
+             "gvt": 180.0},
+            {"kind": "gvt_round", "cid": 1, "gvt": 60.0},
+        ]
+        summary = migration_summary(records)
+        assert summary["migrations"] == 3
+        assert summary["lps_moved"] == 6
+        assert summary["pending_moved"] == 12
+        assert summary["edges"] == {(0, 1): 3, (2, 0): 3}
+
+    def test_virtual_migrating_trace_renders_section(
+        self, medium_circuit, tmp_path
+    ):
+        from repro.partition import PartitionAssignment
+
+        path = str(tmp_path / "migr.jsonl")
+        stimulus = RandomStimulus(medium_circuit, num_cycles=20, seed=2)
+        n = medium_circuit.num_gates
+        cut = int(n * 0.7)
+        assignment = PartitionAssignment(
+            medium_circuit, 4,
+            [0 if i < cut else 1 + (i % 3) for i in range(n)],
+            algorithm="skewed",
+        )
+        with TraceWriter(path) as tracer:
+            result = TimeWarpSimulator(
+                medium_circuit, assignment, stimulus,
+                VirtualMachine(
+                    num_nodes=4, migration_threshold=1.5, gvt_interval=128
+                ),
+                tracer=tracer,
+            ).run()
+        assert result.migrations > 0
+        analysis = analyze_trace(read_trace(path))
+        summary = analysis["migration"]
+        assert summary["lps_moved"] == result.migrations
+        assert summary["pending_moved"] >= 0
+        assert all(src != dst for src, dst in summary["edges"])
+        rendered = render_analysis(analysis)
+        assert "migration:" in rendered
+        assert "LPs rehomed" in rendered

@@ -93,6 +93,47 @@ def test_generated_circuit_all_partitioners(generated_case, algorithm, k):
 
 
 # ----------------------------------------------------------------------
+# Adaptive-migration equivalence: rehoming LPs at GVT epochs reroutes
+# in-flight traffic, forwards stale deliveries, and ships pending
+# events across nodes — none of which may leave a trace in the
+# committed results, on either backend, over either wire transport.
+# The virtual and process backends take migration decisions from
+# entirely different clocks (modelled busy time vs. real CPU time), so
+# their *decisions* differ freely; their committed results must not.
+# ----------------------------------------------------------------------
+def _skewed(circuit, k):
+    """80% of gates on node 0 — guarantees a hot/cold imbalance."""
+    from repro.partition import PartitionAssignment
+
+    n = circuit.num_gates
+    cut = int(n * 0.8)
+    assignment = [0 if i < cut else 1 + (i % (k - 1)) for i in range(n)]
+    return PartitionAssignment(circuit, k, assignment, algorithm="skewed")
+
+
+@pytest.mark.parametrize("k", (2, 4))
+def test_migration_matches_oracle(s27_case, k):
+    circuit, stimulus, sequential = s27_case
+    assignment = _skewed(circuit, k)
+    machine = VirtualMachine(
+        num_nodes=k, gvt_interval=16,
+        migration_threshold=1.2, migration_fraction=0.25,
+    )
+    virtual = TimeWarpSimulator(circuit, assignment, stimulus, machine).run()
+    assert virtual.final_values == sequential.final_values
+    assert virtual.committed_captures == sequential.committed_captures
+    for transport in ("queue", "shm"):
+        process = ProcessTimeWarpSimulator(
+            circuit, assignment, stimulus, machine, transport=transport
+        ).run()
+        assert process.final_values == sequential.final_values, transport
+        assert process.committed_captures == sequential.committed_captures, (
+            transport
+        )
+        assert process.events_committed == virtual.events_committed, transport
+
+
+# ----------------------------------------------------------------------
 # Crash-recovery equivalence: a run that loses a worker mid-flight and
 # restarts from its last checkpoint epoch must still match the oracle
 # bit-for-bit — recovery is allowed to cost time, never correctness.

@@ -79,6 +79,33 @@ class TestMigration:
         assert dynamic.migrations > 0
         assert dynamic.execution_time < static.execution_time
 
+    def test_cold_window_floor_blocks_thrash(self, medium_circuit):
+        """Regression: an idle cold node degenerated the threshold test.
+
+        The ratio gate alone (``hot <= threshold * cold``) passes for
+        ANY nonzero hot window once the cold window is 0, so LPs
+        ping-ponged off the hot node every GVT round however trivial
+        the imbalance.  The fix adds an absolute floor — the hot window
+        must at least pay for the transfer (``migrate_lp_cost``).
+        Pricing the transfer out of reach must therefore pin
+        migrations at zero even against this maximally skewed
+        partition, where the ratio gate fires constantly.
+        """
+        from repro.warped import TimeWarpCostModel
+
+        stim = RandomStimulus(medium_circuit, num_cycles=20, seed=2)
+        seq = SequentialSimulator(medium_circuit, stim).run()
+        assignment = imbalanced_partition(medium_circuit, 4)
+        result = TimeWarpSimulator(
+            medium_circuit, assignment, stim,
+            VirtualMachine(
+                num_nodes=4, migration_threshold=1.5, gvt_interval=128,
+                cost_model=TimeWarpCostModel(migrate_lp_cost=100.0),
+            ),
+        ).run()
+        assert result.migrations == 0
+        assert result.final_values == seq.final_values
+
     def test_no_migration_when_disabled(self, medium_circuit):
         stim = RandomStimulus(medium_circuit, num_cycles=15, seed=2)
         assignment = get_partitioner("Random", seed=3).partition(

@@ -284,6 +284,46 @@ class TestRecoveryEndToEnd:
         assert not result.degraded
         assert result.final_values == sequential.final_values
 
+    @pytest.mark.parametrize("transport", ("queue", "shm"))
+    def test_crash_with_migration_enabled_recovers(
+        self, s27_setup, monkeypatch, tmp_path, transport
+    ):
+        """Kill a node in a run that is also migrating LPs.
+
+        Migration epochs coincide with checkpoint epochs, ownership and
+        residency live inside every snapshot, and LP-carrying blobs are
+        deferred past the epoch barrier — so whether the crash lands
+        before, during, or after a migration, the restore is consistent
+        and the committed results still match the oracle.  The skewed
+        partition makes the hot/cold verdict unambiguous so migration
+        genuinely interleaves with the crash-restart cycle.
+        """
+        from repro.partition import PartitionAssignment
+
+        circuit, _, _ = s27_setup
+        stimulus = RandomStimulus(circuit, num_cycles=40, period=20, seed=5)
+        sequential = SequentialSimulator(circuit, stimulus).run()
+        n = circuit.num_gates
+        cut = int(n * 0.8)
+        skewed = PartitionAssignment(
+            circuit, 2, [0 if i < cut else 1 for i in range(n)],
+            algorithm="skewed",
+        )
+        monkeypatch.setenv("REPRO_TW_FAULT", "1:exit-at:60")
+        result = ProcessTimeWarpSimulator(
+            circuit, skewed, stimulus,
+            VirtualMachine(
+                num_nodes=2, gvt_interval=16, checkpoint_interval=60,
+                migration_threshold=1.2, migration_fraction=0.25,
+            ),
+            max_restarts=3, timeout=60.0,
+            checkpoint_dir=str(tmp_path), transport=transport,
+        ).run()
+        assert result.restarts >= 1
+        assert not result.degraded
+        assert result.final_values == sequential.final_values
+        assert result.committed_captures == sequential.committed_captures
+
     def test_trace_has_ckpt_and_restart_records(
         self, s27_setup, monkeypatch, tmp_path
     ):

@@ -38,6 +38,7 @@ REQUIRED: dict[str, set[str]] = {
     },
     "ckpt": {"cid", "gvt", "bytes", "secs"},
     "restart": {"failed", "to_attempt", "epoch", "gvt", "replayed", "downtime"},
+    "migr": {"src", "dst", "lps", "pending", "gvt"},
 }
 
 

@@ -40,6 +40,8 @@ from repro.warped.parallel import backend as backend_mod
 from repro.warped.parallel.protocol import (
     CKPT,
     GVT,
+    MIGCMD,
+    MIGRATE,
     MSG,
     RESUME,
     TOKEN,
@@ -53,6 +55,7 @@ from repro.warped.parallel.transport import (
     ShmChannel,
     _pack,
     decode_record,
+    encode_migrate,
     encode_record,
     make_transport,
 )
@@ -117,6 +120,12 @@ WIRE_SAMPLES = [
     (GVT, 12, T_INF),                           # quiescence broadcast
     (CKPT, 1, 4, 96.0),
     (RESUME, 0, 17, 3, _msg(13, sign=ANTI)),
+    (MIGCMD, 7, 144.0, 2),                      # migrate order to the hot node
+    (TOKEN, GvtToken(                           # load fold riding the token
+        cid=8, m_clock=64.0, m_send=T_INF, count=0,
+        busy_max=125_000, busy_max_node=1, ev_max=4096,
+        busy_min=30, busy_min_node=0,
+    )),
 ]
 
 
@@ -333,10 +342,13 @@ wire_items = st.one_of(
     st.tuples(st.just(MSG), i64, _messages, i64, i64),
     st.tuples(st.just(RESUME), i64, i64, i64, _messages),
     st.builds(
-        GvtToken, cid=i64, m_clock=_floats, m_send=_floats, count=i64
+        GvtToken, cid=i64, m_clock=_floats, m_send=_floats, count=i64,
+        busy_max=i64, busy_max_node=i64, ev_max=i64,
+        busy_min=i64, busy_min_node=i64,
     ).map(lambda token: (TOKEN, token)),
     st.tuples(st.just(GVT), i64, _floats),
     st.tuples(st.just(CKPT), i64, i64, _floats),
+    st.tuples(st.just(MIGCMD), i64, _floats, i64),
 )
 
 
@@ -384,3 +396,110 @@ def test_codec_field_overflow_is_protocol_error():
     too_big = Message(2**63, 0, 0, 0, 0, 0, 0)
     with pytest.raises(ProtocolError, match="out of range"):
         encode_record((MSG, 0, too_big))
+
+
+# ----------------------------------------------------------------------
+# MIGRATE blobs: variable-length LP freight over both transports
+# ----------------------------------------------------------------------
+def _migrate_payload(n_lps: int = 3, n_pending: int = 4) -> dict:
+    return {
+        "gates": list(range(n_lps)),
+        "lps": {
+            i: ([1, 0], 1, (100 + i, 0, 0, i), [], i) for i in range(n_lps)
+        },
+        "queue": [_msg(50 + i) for i in range(n_pending)],
+        "waiting_antis": {99: _msg(99, sign=ANTI)},
+        "capture_log": {(0, 2): 1},
+    }
+
+
+def _assert_payloads_match(got: dict, sent: dict) -> None:
+    assert got["gates"] == sent["gates"]
+    assert got["lps"].keys() == sent["lps"].keys()
+    for key in sent["lps"]:
+        assert got["lps"][key][:3] == sent["lps"][key][:3]
+    assert [_msg_fields(m) for m in got["queue"]] == [
+        _msg_fields(m) for m in sent["queue"]
+    ]
+    assert {
+        uid: _msg_fields(m) for uid, m in got["waiting_antis"].items()
+    } == {uid: _msg_fields(m) for uid, m in sent["waiting_antis"].items()}
+    assert got["capture_log"] == sent["capture_log"]
+
+
+def test_migrate_blob_round_trips(channels):
+    (chan,) = channels()
+    payload = _migrate_payload()
+    chan.put_nowait((MIGRATE, 3, 0, 7, payload))
+    tag, color, src, cid, got = chan.get(timeout=10)
+    assert (tag, color, src, cid) == (MIGRATE, 3, 0, 7)
+    _assert_payloads_match(got, payload)
+
+
+def test_migrate_interleaves_fifo_with_fixed_records(channels):
+    """A chunked blob between fixed records must not reorder the
+    channel: FIFO is what the GVT-before-MIGCMD ordering relies on."""
+    (chan,) = channels()
+    chan.put_nowait((GVT, 4, 64.0))
+    chan.put_nowait((MIGRATE, 1, 0, 4, _migrate_payload(n_lps=8)))
+    chan.put_nowait((MSG, 2, _msg(21)))
+    assert chan.get(timeout=10)[0] == GVT
+    assert chan.get(timeout=10)[0] == MIGRATE
+    assert chan.get(timeout=10)[0] == MSG
+
+
+def test_migrate_announcement_round_trips(channels):
+    """Ownership announcements (no 'lps' key) ride the same tag."""
+    (chan,) = channels()
+    ann = {"gates": [4, 9], "owner": 2}
+    chan.put_nowait((MIGRATE, 5, 2, 9, ann))
+    tag, color, src, cid, got = chan.get(timeout=10)
+    assert (tag, color, src, cid, got) == (MIGRATE, 5, 2, 9, ann)
+
+
+def test_shm_migrate_blob_is_all_or_nothing():
+    """A blob that does not fit leaves the ring untouched (Full), and
+    succeeds verbatim once space frees up — no partial chunk runs."""
+    transport, chan = _shm_channel(64)
+    try:
+        payload = _migrate_payload(n_lps=6, n_pending=12)
+        nchunks = len(encode_migrate((MIGRATE, 1, 0, 3, payload)))
+        assert 4 < nchunks <= 64  # spans many slots, fits an empty ring
+        backlog = 64 - nchunks + 1  # one slot short of fitting the blob
+        for i in range(backlog):
+            chan.put_nowait((GVT, i, float(i)))
+        with pytest.raises(queue_mod.Full):
+            chan.put_nowait((MIGRATE, 1, 0, 3, payload))
+        # Nothing was written: the backlog drains clean...
+        for i in range(backlog):
+            assert chan.get_nowait() == (GVT, i, float(i))
+        # ... and the retry lands intact.
+        chan.put_nowait((MIGRATE, 1, 0, 3, payload))
+        tag, _, _, _, got = chan.get_nowait()
+        assert tag == MIGRATE
+        _assert_payloads_match(got, payload)
+    finally:
+        chan.close()
+        transport.cleanup()
+
+
+def test_shm_migrate_blob_larger_than_ring_rejected():
+    transport, chan = _shm_channel(4)
+    try:
+        with pytest.raises(ProtocolError, match="capacity"):
+            chan.put_nowait(
+                (MIGRATE, 1, 0, 3, _migrate_payload(n_lps=40, n_pending=80))
+            )
+    finally:
+        chan.close()
+        transport.cleanup()
+
+
+def test_shm_put_batch_rejects_migrate():
+    transport, chan = _shm_channel(8)
+    try:
+        with pytest.raises(ProtocolError, match="batch"):
+            chan.put_batch([(MIGRATE, 1, 0, 3, _migrate_payload())])
+    finally:
+        chan.close()
+        transport.cleanup()

@@ -55,8 +55,17 @@ def build_scorecard(
     algorithms: tuple[str, ...] = ALGORITHMS,
     trace_dir: str | None = None,
     forensics: bool = False,
+    migration_threshold: float | None = None,
+    migration_fraction: float = 0.05,
 ) -> tuple[list[dict], list[str]]:
-    """One traced virtual run per partitioner; returns (rows, reports)."""
+    """One traced virtual run per partitioner; returns (rows, reports).
+
+    With ``migration_threshold`` set, every static row is followed by a
+    second ``<algorithm>+adaptive`` row from the same partition rerun
+    with runtime LP migration enabled, so the table reads as paired
+    static/adaptive comparisons.  The default (``None``) output is
+    unchanged.
+    """
     circuit = load_benchmark(circuit_name, scale=scale, seed=circuit_seed)
     stimulus = RandomStimulus(
         circuit, num_cycles=num_cycles, period=period, seed=stimulus_seed
@@ -67,34 +76,45 @@ def build_scorecard(
         assignment = get_partitioner(
             algorithm, seed=partition_seed
         ).partition(circuit, nodes)
-        machine = VirtualMachine(num_nodes=nodes, gvt_interval=gvt_interval)
-        if trace_dir is not None:
-            trace_path = str(
-                Path(trace_dir) / f"{circuit_name}.{algorithm}.jsonl"
-            )
-        else:
-            import tempfile
+        variants = [(algorithm, VirtualMachine(
+            num_nodes=nodes, gvt_interval=gvt_interval
+        ))]
+        if migration_threshold is not None:
+            variants.append((f"{algorithm}+adaptive", VirtualMachine(
+                num_nodes=nodes, gvt_interval=gvt_interval,
+                migration_threshold=migration_threshold,
+                migration_fraction=migration_fraction,
+            )))
+        for label, machine in variants:
+            if trace_dir is not None:
+                trace_path = str(
+                    Path(trace_dir) / f"{circuit_name}.{label}.jsonl"
+                )
+            else:
+                import tempfile
 
-            trace_path = str(
-                Path(tempfile.mkdtemp(prefix="partition_report."))
-                / f"{algorithm}.jsonl"
-            )
-        with TraceWriter(trace_path) as tracer:
-            result = TimeWarpSimulator(
-                circuit, assignment, stimulus, machine, tracer=tracer
-            ).run()
-        records = read_trace(trace_path)
-        # scorecard_row raises AssertionError unless every rollback is
-        # cascade-attributed and wasted totals reconcile exactly.
-        rows.append(scorecard_row(result, assignment, records))
-        if forensics:
-            reports.append(render_analysis(
-                analyze_trace(
-                    records, circuit=circuit, assignment=assignment,
-                    cost_model=machine.cost_model,
-                ),
-                title=f"{circuit_name} / {algorithm} x{nodes}",
-            ))
+                trace_path = str(
+                    Path(tempfile.mkdtemp(prefix="partition_report."))
+                    / f"{label}.jsonl"
+                )
+            with TraceWriter(trace_path) as tracer:
+                result = TimeWarpSimulator(
+                    circuit, assignment, stimulus, machine, tracer=tracer
+                ).run()
+            records = read_trace(trace_path)
+            # scorecard_row raises AssertionError unless every rollback
+            # is cascade-attributed and wasted totals reconcile exactly.
+            row = scorecard_row(result, assignment, records)
+            row["algorithm"] = label
+            rows.append(row)
+            if forensics:
+                reports.append(render_analysis(
+                    analyze_trace(
+                        records, circuit=circuit, assignment=assignment,
+                        cost_model=machine.cost_model,
+                    ),
+                    title=f"{circuit_name} / {label} x{nodes}",
+                ))
     return rows, reports
 
 
@@ -114,6 +134,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="print the full per-run forensics report too")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="also write the rows as JSON (- for stdout)")
+    parser.add_argument("--adaptive", type=float, default=None, metavar="R",
+                        help="add an <algorithm>+adaptive row per "
+                             "partitioner, rerun with runtime LP "
+                             "migration at busy-window ratio R")
+    parser.add_argument("--migration-fraction", type=float, default=0.05,
+                        metavar="F",
+                        help="LP fraction shed per adaptive decision")
     args = parser.parse_args(argv)
     if args.trace_dir is not None:
         Path(args.trace_dir).mkdir(parents=True, exist_ok=True)
@@ -122,6 +149,8 @@ def main(argv: list[str] | None = None) -> int:
         scale=args.scale, num_cycles=args.cycles,
         stimulus_seed=args.seed, trace_dir=args.trace_dir,
         forensics=args.forensics,
+        migration_threshold=args.adaptive,
+        migration_fraction=args.migration_fraction,
     )
     title = f"{args.circuit} x{args.nodes} nodes, {args.cycles} cycles"
     print(render_scorecard(rows, title=title))
