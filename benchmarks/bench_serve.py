@@ -1,0 +1,245 @@
+"""Serving-path benchmark: what the job server's machinery buys.
+
+One pinned s27 job executed three ways, ``jobs`` times each:
+
+- ``cold-spawn``    — a fresh :class:`ProcessTimeWarpSimulator` per
+                      job: full process spawn, transport construction
+                      and teardown every time (the pre-serve cost).
+- ``warm-ring``     — one :class:`WorkerRing` spawned up front, every
+                      job reuses its processes (the pool's steady
+                      state; spawn and one warm-up job are untimed).
+- ``served-cached`` — repeat submissions through a
+                      :class:`JobManager` whose result cache is
+                      already populated (the repeat-traffic fast
+                      path; no simulation runs at all).
+
+The records land in the same ``BENCH_<n>.json`` trajectory as the
+hot-path workloads (``tools/bench_runner.py`` runs both modules), so
+the 20% events/sec gate covers the serving path too.  Run standalone
+(``python benchmarks/bench_serve.py``) to print the comparison and
+enforce the warm-vs-cold speedup floor.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parents[1] / "src")
+if _SRC not in sys.path:  # standalone invocation (CI runs it directly)
+    sys.path.insert(0, _SRC)
+
+from repro.circuit.iscas89 import load_benchmark
+from repro.partition.registry import get_partitioner
+from repro.serve.jobs import JobManager, JobRequest, JobState
+from repro.sim.stimulus import RandomStimulus
+from repro.warped.machine import VirtualMachine
+from repro.warped.parallel.backend import ProcessTimeWarpSimulator
+from repro.warped.parallel.ring import WorkerRing
+
+#: Execution modes, in the order records are reported.
+MODES = ("cold-spawn", "warm-ring", "served-cached")
+
+#: The acceptance floor enforced by ``main``: a warm ring must deliver
+#: at least this multiple of the cold-spawn repeat-job throughput.
+MIN_WARM_SPEEDUP = 5.0
+
+
+@dataclass(frozen=True)
+class ServeWorkload:
+    """One frozen serving benchmark (same pinning rules as hot-path)."""
+
+    name: str
+    circuit: str = "s27"
+    scale: float = 1.0
+    circuit_seed: int = 2000
+    #: Deliberately tiny: the quantity under test is per-job *overhead*
+    #: (spawn/transport vs reuse/cache), so simulation time is kept
+    #: small relative to it — the serving scenario is exactly this
+    #: small-repeat-job traffic.
+    num_cycles: int = 6
+    period: int = 100
+    stimulus_seed: int = 7
+    activity: float = 0.5
+    partitioner: str = "Multilevel"
+    partition_seed: int = 3
+    k: int = 2
+    transport: str = "shm"
+    #: Timed repeat jobs per mode (identical work in every mode).
+    jobs: int = 12
+    gvt_interval: int = 128
+    optimism_window: int = 100
+    engines: tuple[str, ...] = MODES
+
+
+WORKLOADS: dict[str, ServeWorkload] = {
+    w.name: w for w in (ServeWorkload(name="serve-s27"),)
+}
+
+
+def build_world(workload: ServeWorkload) -> tuple:
+    circuit = load_benchmark(
+        workload.circuit, scale=workload.scale, seed=workload.circuit_seed
+    )
+    stimulus = RandomStimulus(
+        circuit,
+        num_cycles=workload.num_cycles,
+        period=workload.period,
+        seed=workload.stimulus_seed,
+        activity=workload.activity,
+    )
+    assignment = get_partitioner(
+        workload.partitioner, seed=workload.partition_seed
+    ).partition(circuit, workload.k)
+    machine = VirtualMachine(
+        num_nodes=workload.k,
+        gvt_interval=workload.gvt_interval,
+        optimism_window=workload.optimism_window,
+    )
+    return circuit, stimulus, assignment, machine
+
+
+def _request(workload: ServeWorkload) -> JobRequest:
+    return JobRequest(
+        circuit=workload.circuit,
+        scale=workload.scale,
+        circuit_seed=workload.circuit_seed,
+        algorithm=workload.partitioner,
+        partition_seed=workload.partition_seed,
+        nodes=workload.k,
+        num_cycles=workload.num_cycles,
+        period=workload.period,
+        activity=workload.activity,
+        stimulus_seed=workload.stimulus_seed,
+        gvt_interval=workload.gvt_interval,
+        optimism_window=workload.optimism_window,
+    )
+
+
+def run_engine(engine: str, workload: ServeWorkload, world: tuple) -> dict:
+    """Time ``workload.jobs`` repeat jobs in *engine* mode.
+
+    Jobs are timed individually; ``sec_per_job`` is the **fastest**
+    job of the window.  Scheduler noise on a shared host only ever
+    slows a job down, so the minimum is the least noisy estimate of
+    attainable per-job cost — the same best-of policy the hot-path
+    bench applies across repeats, pushed down to job granularity
+    (the speedup gate divides two of these minima).
+    """
+    circuit, stimulus, assignment, machine = world
+    events = 0
+    job_times: list[float] = []
+
+    def timed(run_one) -> None:
+        nonlocal events
+        t0 = time.perf_counter()
+        result = run_one()
+        job_times.append(time.perf_counter() - t0)
+        events += result.events_processed
+
+    if engine == "cold-spawn":
+        for _ in range(workload.jobs):
+            timed(
+                lambda: ProcessTimeWarpSimulator(
+                    circuit, assignment, stimulus, machine,
+                    timeout=60, transport=workload.transport,
+                ).run()
+            )
+    elif engine == "warm-ring":
+        with WorkerRing(workload.k, transport=workload.transport) as ring:
+            ring.run_job(circuit, assignment, stimulus, machine, timeout=60)
+            for _ in range(workload.jobs):
+                timed(
+                    lambda: ring.run_job(
+                        circuit, assignment, stimulus, machine, timeout=60
+                    )
+                )
+    elif engine == "served-cached":
+        manager = JobManager(transport=workload.transport, max_concurrency=1)
+        try:
+            request = _request(workload)
+            first = manager.wait(manager.submit(request).id, timeout=120)
+            assert first.state is JobState.DONE, first.error
+
+            def cached_hit():
+                job = manager.wait(manager.submit(request).id, timeout=120)
+                assert job.cache == {"result": "hit"}, job.cache
+                return job.result
+
+            for _ in range(workload.jobs):
+                timed(cached_hit)
+        finally:
+            manager.close()
+    else:
+        raise ValueError(f"unknown serve mode {engine!r}")
+    elapsed = sum(job_times)
+    return {
+        "events": events,
+        "jobs": workload.jobs,
+        "elapsed_sec": round(elapsed, 6),
+        "events_per_sec": round(events / elapsed, 1),
+        "sec_per_job": round(min(job_times), 6),
+    }
+
+
+def run_workload(workload: ServeWorkload, *, repeats: int = 3) -> dict:
+    """Best-of-*repeats* per mode (same policy as the hot-path bench)."""
+    world = build_world(workload)
+    measurements: dict[str, dict] = {}
+    for engine in workload.engines:
+        best: dict | None = None
+        floor = None
+        for _ in range(repeats):
+            record = run_engine(engine, workload, world)
+            floor = (
+                record["sec_per_job"]
+                if floor is None
+                else min(floor, record["sec_per_job"])
+            )
+            if best is None or record["elapsed_sec"] < best["elapsed_sec"]:
+                best = record
+        best["sec_per_job"] = floor
+        measurements[engine] = best
+    return measurements
+
+
+def main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="serving-path benchmark (cold vs warm vs cached)"
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--min-speedup", type=float, default=MIN_WARM_SPEEDUP,
+        help="required warm-ring/cold-spawn throughput multiple "
+        f"(default {MIN_WARM_SPEEDUP:g}; 0 disables)",
+    )
+    args = parser.parse_args()
+    status = 0
+    for name, workload in sorted(WORKLOADS.items()):
+        measurements = run_workload(workload, repeats=args.repeats)
+        for engine in workload.engines:
+            record = measurements[engine]
+            print(
+                f"{name:12s} {engine:14s} {record['sec_per_job']*1e3:>9.1f} "
+                f"ms/job  {record['events_per_sec']:>12,.0f} ev/s"
+            )
+        speedup = (
+            measurements["cold-spawn"]["sec_per_job"]
+            / measurements["warm-ring"]["sec_per_job"]
+        )
+        verdict = "ok" if speedup >= args.min_speedup else "FAIL"
+        if speedup < args.min_speedup:
+            status = 1
+        print(
+            f"{name:12s} warm-ring speedup over cold-spawn: "
+            f"{speedup:.1f}x (floor {args.min_speedup:g}x) {verdict}"
+        )
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,7 @@ Subcommands::
     repro-sim ablations               # A1-A5
     repro-sim run --circuit s9234 --algorithm Multilevel --nodes 8
     repro-sim partition --circuit s9234 --k 8    # static quality only
+    repro-sim serve --port 8472       # async job server (README: Serving)
 
 Scale/cycle environment overrides (REPRO_FULL, REPRO_SCALE,
 REPRO_CYCLES) apply to every subcommand.
@@ -113,6 +114,32 @@ def _runner(args: argparse.Namespace) -> ExperimentRunner:
     return ExperimentRunner(config)
 
 
+def _serve(args: argparse.Namespace) -> int:
+    """Run the job server until interrupted."""
+    import asyncio
+    import tempfile
+
+    from repro.serve.app import run_server
+    from repro.serve.jobs import JobManager
+
+    status_dir = args.status_dir or tempfile.mkdtemp(prefix="repro-serve-")
+    manager = JobManager(
+        transport=args.transport,
+        max_concurrency=args.max_jobs,
+        result_cache_size=args.result_cache,
+        partition_cache_size=args.partition_cache,
+        max_idle_rings=args.max_idle_rings,
+        status_dir=status_dir,
+    )
+    try:
+        asyncio.run(run_server(manager, host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        manager.close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse *argv* (default: sys.argv) and run one subcommand."""
     parser = argparse.ArgumentParser(
@@ -151,7 +178,38 @@ def main(argv: list[str] | None = None) -> int:
     part_p.add_argument("--all", action="store_true",
                         help="include the related-work strategies")
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="simulation-as-a-service: async HTTP job server with warm "
+        "worker pools and partition/result caching",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8472,
+                         help="listen port (0 picks an ephemeral port)")
+    serve_p.add_argument("--transport", default=None,
+                         choices=["queue", "shm"],
+                         help="wire transport of the worker rings "
+                         "(default: env or queue)")
+    serve_p.add_argument("--max-jobs", type=int, default=2,
+                         dest="max_jobs", metavar="N",
+                         help="jobs executing concurrently (default 2)")
+    serve_p.add_argument("--max-idle-rings", type=int, default=4,
+                         dest="max_idle_rings", metavar="N",
+                         help="warm worker rings kept between jobs")
+    serve_p.add_argument("--result-cache", type=int, default=128,
+                         dest="result_cache", metavar="N",
+                         help="full-result cache entries (default 128)")
+    serve_p.add_argument("--partition-cache", type=int, default=64,
+                         dest="partition_cache", metavar="N",
+                         help="partition cache entries (default 64)")
+    serve_p.add_argument("--status-dir", default=None, dest="status_dir",
+                         help="directory for per-job live-status "
+                         "snapshots (default: a temp dir; SSE streams "
+                         "read these)")
+
     args = parser.parse_args(argv)
+    if args.command == "serve":
+        return _serve(args)
     runner = _runner(args)
     if getattr(args, "analyze", False) and runner.config.trace_path is None:
         parser.error("--analyze requires --trace (there is no trace to read)")

@@ -167,16 +167,24 @@ class ExperimentConfig:
 
     @classmethod
     def from_env(cls, **overrides) -> "ExperimentConfig":
-        """Default config, honouring REPRO_FULL / REPRO_SCALE / REPRO_CYCLES."""
+        """Default config, honouring the ``REPRO_*`` environment knobs.
+
+        Precedence is uniform across every knob: an explicit override
+        (keyword argument — e.g. a CLI flag or a served job's config)
+        always wins, the environment only supplies defaults.  The
+        specific knobs (``REPRO_SCALE``/``REPRO_CYCLES``) are applied
+        before the blanket ``REPRO_FULL`` so they beat its paper-scale
+        defaults too.
+        """
+        if "REPRO_SCALE" in os.environ:
+            overrides.setdefault("scale", float(os.environ["REPRO_SCALE"]))
+        if "REPRO_CYCLES" in os.environ:
+            overrides.setdefault("num_cycles", int(os.environ["REPRO_CYCLES"]))
         if os.environ.get("REPRO_FULL") == "1":
             overrides.setdefault("scale", 1.0)
             overrides.setdefault("num_cycles", 400)
-        if "REPRO_SCALE" in os.environ:
-            overrides["scale"] = float(os.environ["REPRO_SCALE"])
-        if "REPRO_CYCLES" in os.environ:
-            overrides["num_cycles"] = int(os.environ["REPRO_CYCLES"])
         if "REPRO_REPS" in os.environ:
-            overrides["repetitions"] = int(os.environ["REPRO_REPS"])
+            overrides.setdefault("repetitions", int(os.environ["REPRO_REPS"]))
         if "REPRO_BACKEND" in os.environ:
             overrides.setdefault("backend", os.environ["REPRO_BACKEND"])
         if "REPRO_TW_TRANSPORT" in os.environ:

@@ -79,6 +79,27 @@ def run_case(case: dict) -> list[str]:
                 transport="shm" if engine == "process-shm" else None,
             ).run()
             process_committed[engine] = result.events_committed
+        elif engine in ("served", "served-shm"):
+            # The warm-ring path the job server executes on: same
+            # JobSpec body as the cold process backend, different
+            # process lifecycle.  Running it through the differential
+            # layer holds warm-pool results to the exact committed
+            # output of every other engine.
+            from repro.warped.parallel.ring import WorkerRing
+
+            machine = VirtualMachine(
+                num_nodes=k,
+                **{
+                    key: value
+                    for key, value in machine_kwargs.items()
+                    if key in _PROCESS_MACHINE_KEYS
+                },
+            )
+            with WorkerRing(
+                k, transport="shm" if engine == "served-shm" else None
+            ) as ring:
+                result = ring.run_job(circuit, assignment, stimulus, machine)
+            process_committed[engine] = result.events_committed
         elif engine == "conservative":
             result = ConservativeSimulator(
                 circuit, assignment, stimulus, VirtualMachine(num_nodes=k)
@@ -86,18 +107,20 @@ def run_case(case: dict) -> list[str]:
         else:
             raise ValueError(f"unknown engine {engine!r} in case")
         check(engine, result)
-    if len(process_committed) == 2:
-        # Cross-transport determinism: rollback makes the *committed*
-        # event count interleaving-independent, so the queue and shm
-        # transports must agree on it exactly — any drift means a
-        # transport lost, duplicated, or misdecoded a message.
-        queue_n = process_committed["process"]
-        shm_n = process_committed["process-shm"]
-        if queue_n != shm_n:
-            failures.append(
-                "transports diverged: process committed "
-                f"{queue_n} events, process-shm {shm_n}"
-            )
+    if len(process_committed) >= 2:
+        # Cross-engine determinism: rollback makes the *committed*
+        # event count interleaving-independent, so every process-family
+        # engine (cold queue/shm, warm served rings) must agree on it
+        # exactly — any drift means an engine lost, duplicated, or
+        # misdecoded a message.
+        counts = sorted(process_committed.items())
+        reference_engine, reference_n = counts[0]
+        for engine, n in counts[1:]:
+            if n != reference_n:
+                failures.append(
+                    f"engines diverged: {reference_engine} committed "
+                    f"{reference_n} events, {engine} {n}"
+                )
     return failures
 
 

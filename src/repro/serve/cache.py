@@ -1,0 +1,85 @@
+"""Bounded, metrics-instrumented LRU cache for the job server.
+
+Both server caches (partition, full result) are instances of
+:class:`LruCache`: an ``OrderedDict`` with move-to-end on hit and
+evict-oldest on overflow, guarded by a lock because job workers run on
+a thread pool.  Every get/put feeds ``repro.obs`` counters
+(``<name>_hits`` / ``<name>_misses`` / ``<name>_evictions``) so the
+``/metrics`` endpoint reports cache effectiveness without bespoke
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.errors import ConfigError
+from repro.obs import Metrics
+
+_MISSING = object()
+
+
+class LruCache:
+    """Least-recently-used mapping bounded to *capacity* entries."""
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        metrics: Metrics | None = None,
+        name: str = "cache",
+    ) -> None:
+        if capacity < 1:
+            raise ConfigError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        self._metrics = metrics if metrics is not None else Metrics(enabled=False)
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def get(self, key, default=None):
+        """Return the cached value (refreshing its recency) or *default*."""
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                self._metrics.inc(f"{self.name}_misses")
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            self._metrics.inc(f"{self.name}_hits")
+            return value
+
+    def put(self, key, value) -> None:
+        """Insert/refresh *key*, evicting the oldest entry on overflow."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+                self._metrics.inc(f"{self.name}_evictions")
+
+    def stats(self) -> dict:
+        """Snapshot for the ``/metrics`` endpoint."""
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,130 @@
+"""Canonical digests: what makes two served jobs "the same job".
+
+The job server's caches are only sound if the key captures *everything*
+the committed result depends on — and only that.  Three layers:
+
+- :func:`circuit_fingerprint` hashes the circuit's **semantic** content:
+  per-gate (name, type, delay, output flag, ordered fanin-by-name).
+  Gate *insertion order* is representation, not semantics (the BENCH
+  format allows any line order and the committed results cannot depend
+  on it), so gates are serialised sorted by name.  Fanin order is kept:
+  gate inputs are positional in general.
+- :func:`machine_fingerprint` / :func:`stimulus_fingerprint` hash the
+  knobs that govern a run's committed output and counters.
+- :func:`result_key` combines them with the partition identity
+  (algorithm + seed + k) into the full-result cache key.
+
+Everything is hashed via a stable JSON encoding (sorted keys, no
+whitespace drift, floats via ``repr``-faithful ``json``) so digests are
+reproducible across processes and sessions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.circuit.graph import CircuitGraph
+from repro.warped.machine import VirtualMachine
+
+
+def _digest(payload) -> str:
+    """sha256 hex digest of the stable JSON encoding of *payload*."""
+    encoded = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+    return hashlib.sha256(encoded.encode("ascii")).hexdigest()
+
+
+def circuit_fingerprint(circuit: CircuitGraph) -> str:
+    """Canonical content hash of *circuit*.
+
+    Invariant to gate insertion order (gates serialised sorted by
+    name, fanin referenced by name); sensitive to every semantic field:
+    gate type, inertial delay, primary-output flag, and fanin order.
+    """
+    gates = sorted(circuit.gates, key=lambda g: g.name)
+    payload = [
+        [
+            gate.name,
+            gate.gate_type.value,
+            gate.delay,
+            bool(gate.is_output),
+            [circuit.gates[driver].name for driver in gate.fanin],
+        ]
+        for gate in gates
+    ]
+    return _digest(payload)
+
+
+def machine_fingerprint(machine: VirtualMachine) -> str:
+    """Hash of the machine knobs a served run's outcome depends on.
+
+    Cost/network models are excluded deliberately: the process backend
+    measures real time and ignores them, so they cannot change a served
+    result.
+    """
+    return _digest(
+        {
+            "num_nodes": machine.num_nodes,
+            "gvt_interval": machine.gvt_interval,
+            "optimism_window": machine.optimism_window,
+            "cancellation": machine.cancellation,
+            "migration_threshold": machine.migration_threshold,
+            "migration_fraction": machine.migration_fraction,
+        }
+    )
+
+
+def stimulus_fingerprint(
+    num_cycles: int, period: int, activity: float, seed: int
+) -> str:
+    """Hash of the workload parameters (they fully determine the
+    stimulus: RandomStimulus is a pure function of circuit + these)."""
+    return _digest(
+        {
+            "num_cycles": num_cycles,
+            "period": period,
+            "activity": activity,
+            "seed": seed,
+        }
+    )
+
+
+def partition_key(
+    circuit_digest: str, algorithm: str, seed: int, k: int
+) -> str:
+    """Partition-cache key: the partition is a pure function of these."""
+    return _digest(
+        {
+            "circuit": circuit_digest,
+            "algorithm": algorithm,
+            "seed": seed,
+            "k": k,
+        }
+    )
+
+
+def result_key(
+    circuit_digest: str,
+    algorithm: str,
+    partition_seed: int,
+    k: int,
+    machine_digest: str,
+    stimulus_digest: str,
+    max_events: int,
+) -> str:
+    """Full-result cache key.
+
+    ``max_events`` is included because hitting the budget aborts a run:
+    two jobs differing only there can observably differ.
+    """
+    return _digest(
+        {
+            "circuit": circuit_digest,
+            "partition": [algorithm, partition_seed, k],
+            "machine": machine_digest,
+            "stimulus": stimulus_digest,
+            "max_events": max_events,
+        }
+    )

@@ -6,6 +6,7 @@ See :mod:`repro.warped.parallel.backend` for the execution model and
 
 from repro.warped.parallel.backend import NodeLoop, ProcessTimeWarpSimulator
 from repro.warped.parallel.node import NodeEngine
+from repro.warped.parallel.ring import WorkerRing
 from repro.warped.parallel.protocol import GvtClerk, GvtToken
 from repro.warped.parallel.transport import (
     QueueTransport,

@@ -71,6 +71,7 @@ restart-budget-exhaustion path is exercised.  Malformed clauses raise
 
 from __future__ import annotations
 
+import glob
 import json
 import multiprocessing as mp
 import os
@@ -78,6 +79,8 @@ import queue as queue_mod
 import tempfile
 import time
 import traceback
+import uuid
+from dataclasses import dataclass
 
 from repro.circuit.graph import CircuitGraph
 from repro.errors import ConfigError, ProtocolError, SimulationError
@@ -160,16 +163,26 @@ _FAULT_MODES = frozenset(
 )
 
 
-def _worker_faults(node: int, attempt: int = 0) -> list[tuple[str, str | None]]:
-    """Parse ``REPRO_TW_FAULT`` clauses addressed to *node*.
+def _worker_faults(
+    node: int, attempt: int = 0, spec: str | None = None
+) -> list[tuple[str, str | None]]:
+    """Parse fault clauses addressed to *node* from *spec*.
 
     Each clause is ``node:mode[:arg]``; a ``*`` suffix on the mode
     re-arms the fault on every restart attempt (by default a clause
     fires only on attempt 0, so a respawned worker runs clean).
     Malformed clauses — no mode, a non-integer node, an unknown mode —
     raise :class:`ConfigError` naming the clause.
+
+    *spec* ``None`` falls back to ``REPRO_TW_FAULT`` — a convenience
+    for the parent process and direct tests only.  Workers never read
+    the environment: the resolved spec travels inside the
+    :class:`JobSpec` the parent ships them, so two simulators running
+    concurrently in one parent (a job server) cannot cross-contaminate
+    through ambient process state.
     """
-    spec = os.environ.get("REPRO_TW_FAULT", "")
+    if spec is None:
+        spec = os.environ.get("REPRO_TW_FAULT", "")
     faults: list[tuple[str, str | None]] = []
     for clause in spec.split(","):
         clause = clause.strip()
@@ -205,9 +218,11 @@ def _worker_faults(node: int, attempt: int = 0) -> list[tuple[str, str | None]]:
     return faults
 
 
-def _apply_startup_faults(node: int, inboxes, attempt: int = 0) -> bool:
+def _apply_startup_faults(
+    node: int, inboxes, attempt: int = 0, spec: str = ""
+) -> bool:
     """Run *node*'s startup fault clauses; True means "do not simulate"."""
-    for mode, arg in _worker_faults(node, attempt):
+    for mode, arg in _worker_faults(node, attempt, spec):
         if mode == "raise":
             raise RuntimeError(f"injected fault in node {node}")
         if mode == "exit":
@@ -301,6 +316,48 @@ def _put_wire_batch(chan, items: list) -> None:
 
 
 # ----------------------------------------------------------------------
+# the per-job spawn spec
+# ----------------------------------------------------------------------
+@dataclass
+class JobSpec:
+    """Everything one node needs to execute one simulation job.
+
+    The parent materializes every knob — including the fault-injection
+    spec and the live-status run id — *before* spawning or dispatching,
+    so workers never consult ambient process environment.  That is what
+    lets two jobs run concurrently inside one parent (a job server)
+    without cross-contaminating: each ring's workers see exactly the
+    spec their job shipped, nothing shared.
+
+    The same spec drives both execution styles: the classic cold path
+    (``ProcessTimeWarpSimulator`` forks a fresh ring per run) and the
+    warm path (:class:`~repro.warped.parallel.ring.WorkerRing` keeps
+    the ring alive and ships a new ``JobSpec`` per job over the
+    workers' job queues).
+    """
+
+    circuit: CircuitGraph
+    assignment: list[int]
+    stimulus: Stimulus
+    optimism_window: int | None
+    gvt_interval: int
+    max_events: int
+    trace_base: str | None = None
+    trace_epoch: float = 0.0
+    status_base: str | None = None
+    #: Run id stamped into every live-status snapshot so a dashboard
+    #: reading a reused ``--live-status`` base can tell this run's
+    #: snapshots from a previous (possibly wider) run's leftovers.
+    run_id: str = ""
+    #: Resolved fault-injection clauses ("" = none).  Parsed from
+    #: ``REPRO_TW_FAULT`` once, in the parent, at simulator
+    #: construction — never re-read inside a worker.
+    fault_spec: str = ""
+    migration_threshold: float | None = None
+    migration_fraction: float = 0.05
+
+
+# ----------------------------------------------------------------------
 # the per-node loop (transport-agnostic, testable in-process)
 # ----------------------------------------------------------------------
 class NodeLoop:
@@ -326,6 +383,7 @@ class NodeLoop:
         gvt_interval: int = 512,
         tracer: TraceWriter | None = None,
         status_path: str | None = None,
+        run_id: str = "",
         ckpt_interval: int | None = None,
         ckpt_dir: str | None = None,
         attempt: int = 0,
@@ -388,6 +446,10 @@ class NodeLoop:
         #: node's single-line JSON snapshot (``<base>.node<i>``, written
         #: atomically) for ``tools/tw_top.py`` to tail.
         self.status_path = status_path
+        #: Stamped into every snapshot so readers can discard stale
+        #: ``<base>.node<i>`` files left behind by an earlier (wider)
+        #: run that reused the same base path.
+        self.run_id = run_id
         self._status_last = 0.0
         self._start = time.perf_counter()
         #: Adaptive LP migration (None disables).  Every token fold
@@ -653,6 +715,7 @@ class NodeLoop:
         counters = self.engine.counters
         snapshot = {
             "node": self.node,
+            "run": self.run_id,
             "ts": round(time.time(), 3),
             "gvt": None if self.done or self.gvt == T_INF else self.gvt,
             "done": self.done,
@@ -951,38 +1014,25 @@ class NodeLoop:
 def _worker_main(
     node: int,
     num_nodes: int,
-    circuit: CircuitGraph,
-    assignment: list[int],
-    stimulus: Stimulus,
-    optimism_window: int | None,
-    gvt_interval: int,
-    max_events: int,
+    spec: JobSpec,
     inboxes,
     result_queue,
-    trace_base: str | None,
-    trace_epoch: float,
-    status_base: str | None = None,
     recovery: dict | None = None,
-    migration: tuple[float | None, float] = (None, 0.05),
 ) -> None:
-    """Entry point of one node process.
+    """Entry point of one node process (cold path: one job, then exit).
 
-    *recovery* (set iff checkpointing is on) carries ``attempt``,
-    ``interval``, ``dir``, and — on a restart — this node's restore
-    ``payload`` plus the ring-wide ``cid_base``.  *migration* is the
-    ``(threshold, fraction)`` pair of the adaptive-repartitioning
-    policy (threshold None = static assignment, the default).
+    *spec* carries the complete job — circuit, partition, stimulus,
+    machine knobs, trace/status bases, the resolved fault spec — so
+    the worker touches no ambient environment.  *recovery* (set iff
+    checkpointing is on) carries ``attempt``, ``interval``, ``dir``,
+    and — on a restart — this node's restore ``payload`` plus the
+    ring-wide ``cid_base``.
     """
     attempt = recovery["attempt"] if recovery else 0
     try:
-        if _apply_startup_faults(node, inboxes, attempt):
+        if _apply_startup_faults(node, inboxes, attempt, spec.fault_spec):
             return
-        _run_node(
-            node, num_nodes, circuit, assignment, stimulus,
-            optimism_window, gvt_interval, max_events,
-            inboxes, result_queue, trace_base, trace_epoch, status_base,
-            recovery, migration,
-        )
+        _run_node(node, num_nodes, spec, inboxes, result_queue, recovery)
     except BaseException:  # noqa: BLE001 - ship the diagnosis to the parent
         result_queue.put((ERROR, node, traceback.format_exc()))
         return
@@ -1006,47 +1056,45 @@ def _worker_main(
 def _run_node(
     node: int,
     num_nodes: int,
-    circuit: CircuitGraph,
-    assignment: list[int],
-    stimulus: Stimulus,
-    optimism_window: int | None,
-    gvt_interval: int,
-    max_events: int,
+    spec: JobSpec,
     inboxes,
     result_queue,
-    trace_base: str | None,
-    trace_epoch: float,
-    status_base: str | None = None,
     recovery: dict | None = None,
-    migration: tuple[float | None, float] = (None, 0.05),
 ) -> None:
+    """Execute one job on this node: build the engine, run to
+    quiescence, report the DONE payload.  Shared verbatim between the
+    cold path (:func:`_worker_main`) and the warm-ring path
+    (:mod:`repro.warped.parallel.ring`), so the two are the same
+    simulation with different process lifecycles.
+    """
     start = time.perf_counter()
     attempt = recovery["attempt"] if recovery else 0
     tracer = None
-    if trace_base is not None:
+    if spec.trace_base is not None:
         tracer = TraceWriter(
-            shard_path(trace_base, node, attempt),
-            node=node, epoch=trace_epoch, attempt=attempt,
+            shard_path(spec.trace_base, node, attempt),
+            node=node, epoch=spec.trace_epoch, attempt=attempt,
         )
     try:
         engine = NodeEngine(
-            circuit, assignment, node, num_nodes, stimulus,
-            optimism_window=optimism_window, max_events=max_events,
+            spec.circuit, spec.assignment, node, num_nodes, spec.stimulus,
+            optimism_window=spec.optimism_window, max_events=spec.max_events,
             tracer=tracer,
-            migration_enabled=migration[0] is not None,
+            migration_enabled=spec.migration_threshold is not None,
         )
         loop = NodeLoop(
             node, num_nodes, engine, inboxes,
-            gvt_interval=gvt_interval, tracer=tracer,
-            status_path=status_base,
+            gvt_interval=spec.gvt_interval, tracer=tracer,
+            status_path=spec.status_base,
+            run_id=spec.run_id,
             ckpt_interval=recovery["interval"] if recovery else None,
             ckpt_dir=recovery["dir"] if recovery else None,
             attempt=attempt,
             control=result_queue if recovery else None,
-            migration_threshold=migration[0],
-            migration_fraction=migration[1],
+            migration_threshold=spec.migration_threshold,
+            migration_fraction=spec.migration_fraction,
         )
-        for mode, arg in _worker_faults(node, attempt):
+        for mode, arg in _worker_faults(node, attempt, spec.fault_spec):
             if mode == "exit-at":
                 loop.exit_at = int(arg or 500)
         if recovery and recovery.get("payload") is not None:
@@ -1105,7 +1153,7 @@ def _run_node(
     finally:
         if tracer is not None:
             tracer.close()
-    for mode, arg in _worker_faults(node, attempt):
+    for mode, arg in _worker_faults(node, attempt, spec.fault_spec):
         if mode == "late-report":
             # The race the parent's grace period absorbs: a sibling can
             # report-and-exit long before this node's payload appears.
@@ -1127,6 +1175,23 @@ def _run_node(
             },
         )
     )
+
+
+def clear_status_files(base: str) -> int:
+    """Delete every ``<base>.node*`` snapshot file; returns the count.
+
+    Run start calls this so a run reusing a ``--live-status`` base
+    never inherits a previous run's per-node files (a 4-node run after
+    an 8-node run used to leave nodes 4-7 haunting the dashboard).
+    """
+    removed = 0
+    for path in glob.glob(f"{base}.node*"):
+        try:
+            os.remove(path)
+            removed += 1
+        except OSError:  # pragma: no cover - raced unlink
+            pass
+    return removed
 
 
 class _AttemptFailure(Exception):
@@ -1233,6 +1298,7 @@ class ProcessTimeWarpSimulator:
         checkpoint_dir: str | None = None,
         inbox_maxsize: int | None = None,
         transport: str | None = None,
+        fault_spec: str | None = None,
     ) -> None:
         if not circuit.frozen:
             raise SimulationError("circuit must be frozen")
@@ -1289,6 +1355,23 @@ class ProcessTimeWarpSimulator:
         self.transport = (
             transport if transport is not None else default_transport()
         )
+        #: Fault-injection clauses, resolved from ``REPRO_TW_FAULT``
+        #: exactly once, **here in the parent** (None = read env; pass
+        #: ``""`` to force no faults regardless of environment).  The
+        #: resolved string travels to workers inside their
+        #: :class:`JobSpec` — workers never read ambient env, so two
+        #: simulators in one parent cannot cross-contaminate.  Malformed
+        #: specs fail loudly now, not inside a worker.
+        self.fault_spec = (
+            fault_spec
+            if fault_spec is not None
+            else os.environ.get("REPRO_TW_FAULT", "")
+        )
+        _worker_faults(-1, 0, self.fault_spec)  # eager validation
+        #: Run id stamped into live-status snapshots (distinguishes
+        #: this run's ``<base>.node<i>`` files from a previous run's
+        #: leftovers on the same base).
+        self.run_id = uuid.uuid4().hex[:12]
         #: The transport instance owns every channel any attempt of
         #: this run creates; its (idempotent) ``cleanup`` runs on all
         #: exit paths so no shm segment can outlive the simulator.
@@ -1325,6 +1408,11 @@ class ProcessTimeWarpSimulator:
         ctx = mp.get_context(
             "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         )
+        if self.status_path is not None:
+            # A narrower run reusing the base after a wider one would
+            # otherwise leave the wide run's high-numbered .node<i>
+            # files for dashboards to glob forever.
+            clear_status_files(self.status_path)
         recovery_on = self.machine.checkpoint_interval is not None
         trace_epoch = time.time()
         deadline = time.monotonic() + self.timeout
@@ -1432,6 +1520,21 @@ class ProcessTimeWarpSimulator:
         # on a pickle-based pipe under every transport: it carries
         # arbitrary payloads, not fixed-width records.
         results = self._make_results_queue(ctx)
+        spec = JobSpec(
+            circuit=self.circuit,
+            assignment=list(self.assignment.assignment),
+            stimulus=self.stimulus,
+            optimism_window=self.machine.optimism_window,
+            gvt_interval=self.machine.gvt_interval,
+            max_events=self.max_events,
+            trace_base=self.trace_path,
+            trace_epoch=trace_epoch,
+            status_base=self.status_path,
+            run_id=self.run_id,
+            fault_spec=self.fault_spec,
+            migration_threshold=self.machine.migration_threshold,
+            migration_fraction=self.machine.migration_fraction,
+        )
         workers = []
         for node in range(n):
             recovery = None
@@ -1446,18 +1549,7 @@ class ProcessTimeWarpSimulator:
             workers.append(
                 ctx.Process(
                     target=_worker_main,
-                    args=(
-                        node, n, self.circuit,
-                        list(self.assignment.assignment),
-                        self.stimulus, self.machine.optimism_window,
-                        self.machine.gvt_interval, self.max_events,
-                        inboxes, results, self.trace_path, trace_epoch,
-                        self.status_path, recovery,
-                        (
-                            self.machine.migration_threshold,
-                            self.machine.migration_fraction,
-                        ),
-                    ),
+                    args=(node, n, spec, inboxes, results, recovery),
                     daemon=True,
                     name=f"timewarp-node-{node}",
                 )
@@ -1639,41 +1731,67 @@ class ProcessTimeWarpSimulator:
     def _assemble(self, payloads: dict[int, dict]) -> TimeWarpResult:
         n = self.machine.num_nodes
         self.worker_pids = {i: payloads[i]["pid"] for i in range(n)}
-        node_stats: list[NodeStats] = [payloads[i]["stats"] for i in range(n)]
-        totals = {
-            key: sum(payloads[i]["counters"][key] for i in range(n))
-            for key in payloads[0]["counters"]
-        }
-        final_values = [0] * self.circuit.num_gates
-        for payload in payloads.values():
-            for index, value in payload["final_values"].items():
-                final_values[index] = value
-        captures: dict[tuple[int, int], int] = {}
-        for payload in payloads.values():
-            captures.update(payload["captures"])
-        return TimeWarpResult(
-            circuit_name=self.circuit.name,
-            algorithm=self.assignment.algorithm,
-            num_nodes=n,
-            num_cycles=self.stimulus.num_cycles,
-            execution_time=max(s.wall_time for s in node_stats),
-            events_processed=totals["events"],
-            events_rolled_back=totals["rolled_back"],
-            rollbacks=totals["rollbacks"],
-            app_messages=totals["app_messages"],
-            anti_messages=totals["anti_messages"],
-            local_messages=totals["local_messages"],
-            gvt_rounds=payloads[0]["gvt_rounds"],
-            lazy_reuses=0,
-            peak_history=sum(p["peak_history"] for p in payloads.values()),
-            migrations=totals["migrations_out"],
-            final_values=final_values,
-            node_stats=node_stats,
-            committed_captures=sorted(
-                (gate, cycle, value)
-                for (gate, cycle), value in captures.items()
-            ),
-            backend="process",
+        return assemble_result(
+            self.circuit,
+            self.assignment.algorithm,
+            self.stimulus.num_cycles,
+            payloads,
             transport=self.transport,
             restarts=self.restarts,
         )
+
+
+def assemble_result(
+    circuit: CircuitGraph,
+    algorithm: str,
+    num_cycles: int,
+    payloads: dict[int, dict],
+    *,
+    transport: str,
+    restarts: int = 0,
+) -> TimeWarpResult:
+    """Merge per-node DONE payloads into one :class:`TimeWarpResult`.
+
+    Shared by the cold driver above and the warm
+    :class:`~repro.warped.parallel.ring.WorkerRing` so both execution
+    styles report byte-identical result structures.
+    """
+    n = len(payloads)
+    node_stats: list[NodeStats] = [payloads[i]["stats"] for i in range(n)]
+    totals = {
+        key: sum(payloads[i]["counters"][key] for i in range(n))
+        for key in payloads[0]["counters"]
+    }
+    final_values = [0] * circuit.num_gates
+    for payload in payloads.values():
+        for index, value in payload["final_values"].items():
+            final_values[index] = value
+    captures: dict[tuple[int, int], int] = {}
+    for payload in payloads.values():
+        captures.update(payload["captures"])
+    return TimeWarpResult(
+        circuit_name=circuit.name,
+        algorithm=algorithm,
+        num_nodes=n,
+        num_cycles=num_cycles,
+        execution_time=max(s.wall_time for s in node_stats),
+        events_processed=totals["events"],
+        events_rolled_back=totals["rolled_back"],
+        rollbacks=totals["rollbacks"],
+        app_messages=totals["app_messages"],
+        anti_messages=totals["anti_messages"],
+        local_messages=totals["local_messages"],
+        gvt_rounds=payloads[0]["gvt_rounds"],
+        lazy_reuses=0,
+        peak_history=sum(p["peak_history"] for p in payloads.values()),
+        migrations=totals["migrations_out"],
+        final_values=final_values,
+        node_stats=node_stats,
+        committed_captures=sorted(
+            (gate, cycle, value)
+            for (gate, cycle), value in captures.items()
+        ),
+        backend="process",
+        transport=transport,
+        restarts=restarts,
+    )

@@ -1,0 +1,425 @@
+"""Warm, reusable Time Warp worker rings.
+
+:class:`WorkerRing` is the warm-start counterpart of
+:class:`~repro.warped.parallel.backend.ProcessTimeWarpSimulator`: it
+spawns its N node processes **once** and then executes any number of
+jobs on them, shipping a fresh
+:class:`~repro.warped.parallel.backend.JobSpec` to every worker per
+job over per-node job queues.  Each job builds a fresh
+:class:`~repro.warped.parallel.node.NodeEngine` and
+:class:`~repro.warped.parallel.backend.NodeLoop` inside the existing
+process (engine state fully reset between jobs) and runs the exact
+per-job body the cold path runs (:func:`backend._run_node`), over the
+same transport channels — re-armed by draining any remnants before the
+new engine schedules its first event.  Committed results are therefore
+bit-identical between a cold run and a warm run of the same job, and
+the differential test layer holds them to that.
+
+What a warm ring buys: process spawn, interpreter fork, transport
+construction and teardown all happen once instead of per run — the
+amortization a job server needs when most traffic is small repeat
+configurations (``repro.serve`` keeps a pool of these under its
+result cache).
+
+Deliberate scope limits (the cold driver remains the tool for these):
+
+- **No crash recovery.**  A worker death or error poisons the whole
+  ring — peers may be mid-GVT-round with in-flight messages — so the
+  ring marks itself dead and refuses further jobs; the caller spawns a
+  fresh ring (or falls back to the cold driver for checkpointed runs).
+- **Aggressive cancellation only**, like the cold path.
+- **One job at a time per ring.**  Concurrency comes from pooling
+  rings, not from multiplexing one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import stat
+import time
+import traceback
+
+from repro.circuit.graph import CircuitGraph
+from repro.errors import ConfigError, SimulationError
+from repro.obs.tracer import merge_shards, shard_path
+from repro.partition.assignment import PartitionAssignment
+from repro.sim.stimulus import Stimulus
+from repro.warped.machine import VirtualMachine
+from repro.warped.parallel.backend import (
+    DONE,
+    ERROR,
+    JobSpec,
+    _ControlQueue,
+    _drain_queue,
+    _run_node,
+    assemble_result,
+    clear_status_files,
+)
+from repro.warped.parallel.transport import default_transport, make_transport
+from repro.warped.stats import TimeWarpResult
+
+#: Sentinel telling a ring worker to exit its job loop.
+_STOP = None
+#: Join budget when closing a healthy ring.
+_CLOSE_PATIENCE = 5.0
+#: How long a worker waits at the arming barrier for its peers.  A
+#: peer can be late only if it is wedged or dead, and the parent's
+#: collection loop notices a death within a fraction of a second and
+#: terminates the ring — so this is a backstop, not a tuning knob.
+_ARM_PATIENCE = 60.0
+
+
+def _close_inherited_sockets() -> None:
+    """Close every socket fd this forked worker inherited.
+
+    Ring workers are forked from whatever process owns the pool — in
+    ``repro.serve`` that is a live HTTP server, so the fork snapshots
+    the listening socket and any open client connections.  A worker
+    never needs a socket (its plumbing is pipes and shared memory),
+    but its inherited copies keep those connections half-open: the
+    server can close its end and the client still sees no FIN while a
+    long-lived pooled worker holds the fd.  Closing them at birth
+    restores normal connection teardown.
+    """
+    try:
+        fds = [int(name) for name in os.listdir("/proc/self/fd")]
+    except (OSError, ValueError):  # pragma: no cover - non-Linux
+        return
+    for fd in fds:
+        try:
+            if stat.S_ISSOCK(os.fstat(fd).st_mode):
+                os.close(fd)
+        except OSError:  # pragma: no cover - raced or invalid fd
+            continue
+
+
+def _ring_worker_main(
+    node: int, num_nodes: int, inboxes, job_queue, barrier, results
+) -> None:
+    """Persistent worker: execute job specs until the STOP sentinel.
+
+    Every iteration re-arms this node's transport channel (draining
+    remnants a poisoned previous job might have left) and then runs
+    the shared per-job body.  Any failure reports ERROR and ends the
+    worker — ring integrity is unknown after a mid-job error, so the
+    whole ring dies with it.
+
+    The arming *barrier* between drain and run is load-bearing: job
+    specs arrive over per-node queues, so one node can receive the job
+    and start simulating while a peer is still blocked waiting for its
+    own copy.  The early starter's first remote messages would land in
+    the late peer's inbox only to be thrown away by that peer's arming
+    drain — messages the sender's GVT clerk counts as sent, so no GVT
+    round could ever balance and the job would livelock.  (The shm
+    transport hit this reliably; queue-transport latency merely hid
+    it.)  No node may send until every node has drained and armed.
+    """
+    _close_inherited_sockets()
+    try:
+        while True:
+            item = job_queue.get()
+            if item is _STOP:
+                break
+            seq, spec = item
+            # Re-arm the transport: a healthy previous job quiesced with
+            # empty channels (GVT == +inf proves it), but drain anyway
+            # so one poisoned job can never leak messages into the next.
+            _drain_queue(inboxes[node])
+            barrier.wait(timeout=_ARM_PATIENCE)
+            _run_node(node, num_nodes, spec, inboxes, results)
+    except BaseException:  # noqa: BLE001 - ship the diagnosis, then die
+        results.put((ERROR, node, traceback.format_exc()))
+        return
+    # Clean shutdown mirrors the cold worker: flush queue feeders (a
+    # peer may still need our last broadcast), then skip interpreter
+    # teardown of the fork-copied heap.
+    for q in inboxes:
+        try:
+            q.close()
+            join = getattr(q, "join_thread", None)
+            if join is not None:
+                join()
+        except (OSError, ValueError):  # pragma: no cover - raced close
+            pass
+    os._exit(0)
+
+
+class WorkerRing:
+    """N warm node processes executing one simulation job at a time.
+
+    Spawn once with :meth:`start`, then call :meth:`run_job` any number
+    of times; :meth:`close` shuts the ring down.  Also usable as a
+    context manager.  ``jobs_run`` counts completed jobs; ``alive``
+    turns False the moment a job poisons the ring (after which
+    :meth:`run_job` raises and the ring only accepts :meth:`close`).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        *,
+        transport: str | None = None,
+        inbox_maxsize: int | None = None,
+    ) -> None:
+        if num_nodes < 1:
+            raise ConfigError("num_nodes must be >= 1")
+        self.num_nodes = num_nodes
+        self.transport = (
+            transport if transport is not None else default_transport()
+        )
+        self.inbox_maxsize = inbox_maxsize
+        self._transport = make_transport(self.transport)
+        self._ctx = mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        self._inboxes = None
+        self._job_queues: list = []
+        self._results: _ControlQueue | None = None
+        self._workers: list = []
+        self._job_seq = 0
+        self.jobs_run = 0
+        self._started = False
+        self._dead = False
+        #: OS pid of each worker (evidence of real process execution,
+        #: and of reuse: stable across jobs).
+        self.worker_pids: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """True while the ring is started, healthy, and not closed."""
+        return (
+            self._started
+            and not self._dead
+            and all(w.is_alive() for w in self._workers)
+        )
+
+    # ------------------------------------------------------------------
+    def start(self) -> "WorkerRing":
+        """Spawn the worker processes (idempotent)."""
+        if self._started:
+            return self
+        n = self.num_nodes
+        self._inboxes = self._transport.make_inboxes(
+            self._ctx, n, self.inbox_maxsize
+        )
+        self._job_queues = [self._ctx.SimpleQueue() for _ in range(n)]
+        self._barrier = self._ctx.Barrier(n)
+        self._results = _ControlQueue(self._ctx)
+        self._workers = [
+            self._ctx.Process(
+                target=_ring_worker_main,
+                args=(
+                    node, n, self._inboxes,
+                    self._job_queues[node], self._barrier, self._results,
+                ),
+                daemon=True,
+                name=f"timewarp-ring-{node}",
+            )
+            for node in range(n)
+        ]
+        for worker in self._workers:
+            worker.start()
+        self.worker_pids = {i: w.pid for i, w in enumerate(self._workers)}
+        self._started = True
+        return self
+
+    def __enter__(self) -> "WorkerRing":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def run_job(
+        self,
+        circuit: CircuitGraph,
+        assignment: PartitionAssignment,
+        stimulus: Stimulus,
+        machine: VirtualMachine,
+        *,
+        max_events: int = 50_000_000,
+        timeout: float = 120.0,
+        trace_path: str | None = None,
+        status_path: str | None = None,
+        run_id: str = "",
+    ) -> TimeWarpResult:
+        """Execute one job on the warm ring; returns its result.
+
+        Accepts the cold driver's (circuit, assignment, stimulus,
+        machine) quadruple with the same validation.  On any worker
+        error, death, or timeout the ring is poisoned: remaining
+        workers are terminated and :class:`SimulationError` carries the
+        diagnosis — the caller replaces the ring, it does not retry on
+        it.
+        """
+        if not self._started:
+            self.start()
+        if self._dead:
+            raise SimulationError("worker ring is dead (a prior job failed)")
+        if not circuit.frozen:
+            raise SimulationError("circuit must be frozen")
+        if assignment.circuit is not circuit:
+            raise SimulationError("assignment was built for a different circuit")
+        if stimulus.circuit is not circuit:
+            raise SimulationError("stimulus was built for a different circuit")
+        if assignment.k != machine.num_nodes:
+            raise SimulationError(
+                f"partition has k={assignment.k} but machine has "
+                f"{machine.num_nodes} nodes"
+            )
+        if machine.num_nodes != self.num_nodes:
+            raise SimulationError(
+                f"machine has {machine.num_nodes} nodes but this ring "
+                f"has {self.num_nodes}"
+            )
+        if machine.cancellation != "aggressive":
+            raise ConfigError(
+                "worker rings implement aggressive cancellation only"
+            )
+        if machine.checkpoint_interval is not None:
+            raise ConfigError(
+                "warm worker rings do not checkpoint; use "
+                "ProcessTimeWarpSimulator for crash-recovery runs"
+            )
+        if status_path is not None:
+            clear_status_files(status_path)
+        self._job_seq += 1
+        spec = JobSpec(
+            circuit=circuit,
+            assignment=list(assignment.assignment),
+            stimulus=stimulus,
+            optimism_window=machine.optimism_window,
+            gvt_interval=machine.gvt_interval,
+            max_events=max_events,
+            trace_base=trace_path,
+            trace_epoch=time.time(),
+            status_base=status_path,
+            run_id=run_id,
+            fault_spec="",  # faults are a cold-path test hook
+            migration_threshold=machine.migration_threshold,
+            migration_fraction=machine.migration_fraction,
+        )
+        for q in self._job_queues:
+            q.put((self._job_seq, spec))
+        payloads = self._collect(timeout)
+        self.jobs_run += 1
+        if trace_path is not None:
+            merge_shards(
+                trace_path,
+                [shard_path(trace_path, node) for node in range(self.num_nodes)],
+            )
+        return assemble_result(
+            circuit,
+            assignment.algorithm,
+            stimulus.num_cycles,
+            payloads,
+            transport=self.transport,
+        )
+
+    # ------------------------------------------------------------------
+    def _collect(self, timeout: float) -> dict[int, dict]:
+        """Gather one DONE payload per node, or poison the ring."""
+        n = self.num_nodes
+        deadline = time.monotonic() + timeout
+        payloads: dict[int, dict] = {}
+        try:
+            while len(payloads) < n:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise SimulationError(
+                        f"warm ring timed out after {timeout:.0f}s "
+                        f"({len(payloads)}/{n} nodes reported)"
+                    )
+                try:
+                    item = self._results.get(timeout=min(remaining, 0.25))
+                except queue_mod.Empty:
+                    dead = {
+                        i: w.exitcode
+                        for i, w in enumerate(self._workers)
+                        if not w.is_alive()
+                    }
+                    if dead:
+                        detail = ", ".join(
+                            f"node {i} (exitcode {code})"
+                            for i, code in sorted(dead.items())
+                        )
+                        raise SimulationError(
+                            f"ring worker(s) died mid-job: {detail}"
+                        ) from None
+                    continue
+                tag = item[0]
+                if tag == ERROR:
+                    raise SimulationError(
+                        f"node {item[1]} failed:\n{item[2]}"
+                    )
+                if tag == DONE:
+                    payloads[item[1]] = item[2]
+                # Anything else (stray CKPT etc.) cannot occur: warm
+                # rings never enable recovery.
+        except BaseException:
+            self._poison()
+            raise
+        return payloads
+
+    # ------------------------------------------------------------------
+    def kill(self) -> None:
+        """Forcibly tear the ring down (idempotent).
+
+        The cancellation path for a job already executing on this ring:
+        there is no safe way to stop mid-GVT workers and keep the ring,
+        so cancellation costs the whole ring.  The in-flight
+        :meth:`run_job` (on whichever thread is blocked in it) observes
+        worker death and raises :class:`SimulationError`.
+        """
+        if self._started and not self._dead:
+            self._poison()
+
+    def _poison(self) -> None:
+        """Mark the ring unusable and tear its processes down."""
+        self._dead = True
+        for w in self._workers:
+            if w.is_alive():
+                w.terminate()
+        for w in self._workers:
+            w.join(timeout=5.0)
+        self._release_channels()
+
+    def _release_channels(self) -> None:
+        for q in (*(self._inboxes or ()), self._results):
+            if q is None:
+                continue
+            try:
+                _drain_queue(q)
+                q.cancel_join_thread()
+                q.close()
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+        self._transport.cleanup()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the ring down (idempotent)."""
+        if not self._started:
+            return
+        if not self._dead:
+            for q in self._job_queues:
+                try:
+                    q.put(_STOP)
+                except (OSError, ValueError):  # pragma: no cover
+                    pass
+            join_deadline = time.monotonic() + _CLOSE_PATIENCE
+            pending = [w for w in self._workers if w.is_alive()]
+            while pending and time.monotonic() < join_deadline:
+                for q in (*self._inboxes, self._results):
+                    _drain_queue(q)
+                for w in pending:
+                    w.join(timeout=0.05)
+                pending = [w for w in pending if w.is_alive()]
+            for w in pending:  # pragma: no cover - wedged worker
+                w.terminate()
+                w.join(timeout=5.0)
+            self._release_channels()
+            self._dead = True

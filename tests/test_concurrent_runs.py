@@ -1,0 +1,103 @@
+"""Two simulations in one parent process must not share anything.
+
+The job server runs jobs concurrently from one Python process, so two
+rings alive at once is the normal case, not an accident.  These tests
+pin the isolation that makes it safe: distinct shm channel names,
+distinct trace/status files, and worker configuration that travels
+inside the :class:`JobSpec` instead of being re-read from ambient
+environment by forked workers.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import os
+
+import pytest
+
+from repro.circuit.netlists import load_s27
+from repro.errors import ConfigError
+from repro.partition.registry import get_partitioner
+from repro.sim.kernel import SequentialSimulator
+from repro.sim.stimulus import RandomStimulus
+from repro.warped.machine import VirtualMachine
+from repro.warped.parallel.backend import ProcessTimeWarpSimulator
+from repro.obs.tracer import shard_path
+
+
+def _world(stimulus_seed: int):
+    circuit = load_s27()
+    stimulus = RandomStimulus(
+        circuit, num_cycles=10, period=100, seed=stimulus_seed, activity=0.5
+    )
+    assignment = get_partitioner("Multilevel", seed=3).partition(circuit, 2)
+    machine = VirtualMachine(num_nodes=2, gvt_interval=128, optimism_window=100)
+    oracle = SequentialSimulator(circuit, stimulus).run()
+    return circuit, assignment, stimulus, machine, oracle
+
+
+@pytest.mark.parametrize("transport", ("queue", "shm"))
+def test_two_concurrent_rings_in_one_parent(tmp_path, transport):
+    """Concurrent runs: disjoint channels, traces, and status files."""
+    worlds = [_world(seed) for seed in (7, 99)]
+    simulators = [
+        ProcessTimeWarpSimulator(
+            circuit, assignment, stimulus, machine,
+            timeout=60, transport=transport,
+            trace_path=str(tmp_path / f"run{i}.trace.jsonl"),
+            status_path=str(tmp_path / f"run{i}.status"),
+        )
+        for i, (circuit, assignment, stimulus, machine, _) in enumerate(worlds)
+    ]
+    assert simulators[0].run_id != simulators[1].run_id
+    with concurrent.futures.ThreadPoolExecutor(max_workers=2) as pool:
+        results = list(pool.map(lambda sim: sim.run(), simulators))
+    for i, (result, (sim, world)) in enumerate(
+        zip(results, zip(simulators, worlds))
+    ):
+        oracle = world[4]
+        assert result.final_values == oracle.final_values
+        assert result.committed_captures == oracle.committed_captures
+        # Each run left its own trace and its own run-id-stamped status.
+        assert os.path.exists(tmp_path / f"run{i}.trace.jsonl")
+        for node in range(2):
+            with open(shard_path(str(tmp_path / f"run{i}.status"), node)) as fh:
+                snapshot = json.loads(fh.read())
+            assert snapshot["run"] == sim.run_id
+            assert snapshot["done"] is True
+    # The two rings' workers were distinct OS processes throughout.
+    pids0 = set(simulators[0].worker_pids.values())
+    pids1 = set(simulators[1].worker_pids.values())
+    assert pids0 and pids1 and not (pids0 & pids1)
+
+
+def test_fault_spec_is_resolved_in_parent_not_workers(monkeypatch):
+    """Workers never read ambient env: config travels in the JobSpec.
+
+    An empty-string ``fault_spec`` must force no faults even when the
+    parent's environment carries ``REPRO_TW_FAULT`` — otherwise two
+    simulators in one server process could cross-contaminate.
+    """
+    circuit, assignment, stimulus, machine, oracle = _world(7)
+    monkeypatch.setenv("REPRO_TW_FAULT", "0:exit")
+    sim = ProcessTimeWarpSimulator(
+        circuit, assignment, stimulus, machine, timeout=60, fault_spec=""
+    )
+    assert sim.fault_spec == ""
+    result = sim.run()
+    assert result.final_values == oracle.final_values
+    # None (the default) resolves the env var eagerly, in the parent.
+    resolved = ProcessTimeWarpSimulator(
+        circuit, assignment, stimulus, machine, timeout=60
+    )
+    assert resolved.fault_spec == "0:exit"
+
+
+def test_malformed_fault_spec_fails_in_constructor(monkeypatch):
+    circuit, assignment, stimulus, machine, _ = _world(7)
+    monkeypatch.setenv("REPRO_TW_FAULT", "0:bogus-mode")
+    with pytest.raises(ConfigError, match="bogus-mode"):
+        ProcessTimeWarpSimulator(
+            circuit, assignment, stimulus, machine, timeout=60
+        )

@@ -1,0 +1,107 @@
+"""Env-override precedence: every ``REPRO_*`` knob, both directions.
+
+The contract (the bug this pins down was its violation): the
+environment only supplies *defaults* — an explicit keyword override
+(CLI flag, served job config) always wins, uniformly across every
+knob.  The specific knobs ``REPRO_SCALE``/``REPRO_CYCLES`` also beat
+the blanket ``REPRO_FULL``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.config import ExperimentConfig
+
+#: (env var, env value, config field, parsed value, explicit override)
+KNOBS = [
+    ("REPRO_SCALE", "0.5", "scale", 0.5, 0.25),
+    ("REPRO_CYCLES", "120", "num_cycles", 120, 30),
+    ("REPRO_REPS", "3", "repetitions", 3, 2),
+    ("REPRO_BACKEND", "process", "backend", "process", "virtual"),
+    ("REPRO_TW_TRANSPORT", "shm", "transport", "shm", "queue"),
+    ("REPRO_TRACE", "env.jsonl", "trace_path", "env.jsonl", "cli.jsonl"),
+    ("REPRO_STATUS", "env.status", "status_path", "env.status", "cli.status"),
+    ("REPRO_TW_CKPT", "50", "checkpoint_interval", 50, 75),
+    ("REPRO_TW_MIGRATE", "2.0", "migration_threshold", 2.0, 3.0),
+    ("REPRO_TW_MIGRATE_FRACTION", "0.1", "migration_fraction", 0.1, 0.2),
+]
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    """No ambient REPRO_* state may leak into these tests."""
+    for name, *_ in KNOBS:
+        monkeypatch.delenv(name, raising=False)
+    for name in ("REPRO_FULL", "REPRO_METRICS", "REPRO_TW_RESTARTS"):
+        monkeypatch.delenv(name, raising=False)
+
+
+@pytest.mark.parametrize(
+    "env_name,env_value,field,parsed,override", KNOBS,
+    ids=[knob[0] for knob in KNOBS],
+)
+def test_env_supplies_default_and_override_wins(
+    monkeypatch, env_name, env_value, field, parsed, override
+):
+    monkeypatch.setenv(env_name, env_value)
+    assert getattr(ExperimentConfig.from_env(), field) == parsed
+    explicit = ExperimentConfig.from_env(**{field: override})
+    assert getattr(explicit, field) == override
+
+
+def test_restarts_env_default_and_override(monkeypatch):
+    # REPRO_TW_RESTARTS needs a checkpoint interval to validate.
+    monkeypatch.setenv("REPRO_TW_CKPT", "50")
+    monkeypatch.setenv("REPRO_TW_RESTARTS", "2")
+    assert ExperimentConfig.from_env().max_restarts == 2
+    assert ExperimentConfig.from_env(max_restarts=1).max_restarts == 1
+
+
+def test_metrics_flag(monkeypatch):
+    assert ExperimentConfig.from_env().metrics_enabled is False
+    monkeypatch.setenv("REPRO_METRICS", "1")
+    assert ExperimentConfig.from_env().metrics_enabled is True
+    # An explicit False must survive REPRO_METRICS=1 in the env.
+    assert (
+        ExperimentConfig.from_env(metrics_enabled=False).metrics_enabled
+        is False
+    )
+    monkeypatch.setenv("REPRO_METRICS", "0")
+    assert ExperimentConfig.from_env().metrics_enabled is False
+
+
+def test_full_sets_paper_scale_defaults(monkeypatch):
+    monkeypatch.setenv("REPRO_FULL", "1")
+    config = ExperimentConfig.from_env()
+    assert (config.scale, config.num_cycles) == (1.0, 400)
+
+
+def test_specific_env_knobs_beat_repro_full(monkeypatch):
+    """The precedence bug: REPRO_FULL used to clobber REPRO_SCALE."""
+    monkeypatch.setenv("REPRO_FULL", "1")
+    monkeypatch.setenv("REPRO_SCALE", "0.5")
+    monkeypatch.setenv("REPRO_CYCLES", "120")
+    config = ExperimentConfig.from_env()
+    assert (config.scale, config.num_cycles) == (0.5, 120)
+
+
+def test_explicit_overrides_beat_repro_full(monkeypatch):
+    monkeypatch.setenv("REPRO_FULL", "1")
+    config = ExperimentConfig.from_env(scale=0.25, num_cycles=40)
+    assert (config.scale, config.num_cycles) == (0.25, 40)
+
+
+def test_every_documented_knob_is_covered():
+    """The KNOBS table must track the module docstring's knob list."""
+    import repro.harness.config as config_mod
+
+    documented = {
+        word.strip("`;,.():").split("=")[0]
+        for word in config_mod.__doc__.split()
+        if word.strip("`;,.():").startswith("REPRO_")
+    }
+    covered = {name for name, *_ in KNOBS} | {
+        "REPRO_FULL", "REPRO_METRICS", "REPRO_TW_RESTARTS",
+    }
+    assert documented <= covered, documented - covered

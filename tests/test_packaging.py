@@ -1,0 +1,58 @@
+"""Repository hygiene: no build artifacts tracked, packages complete.
+
+An orphaned ``src/repro/serve/__pycache__/`` directory once shipped a
+package whose *source* had been deleted — imports kept working locally
+(Python happily loads the stale ``.pyc``) while every fresh checkout
+broke.  These checks make that class of accident loud.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _tracked_files() -> list[str]:
+    out = subprocess.run(
+        ["git", "ls-files"], cwd=REPO_ROOT, check=True,
+        capture_output=True, text=True,
+    )
+    return out.stdout.splitlines()
+
+
+def test_no_tracked_build_artifacts():
+    offenders = [
+        path
+        for path in _tracked_files()
+        if "__pycache__" in path
+        or path.endswith((".pyc", ".pyo", ".orig", ".rej"))
+    ]
+    assert not offenders, f"build artifacts under version control: {offenders}"
+
+
+def test_every_package_directory_has_real_sources():
+    """No package may exist only as cached bytecode."""
+    src = REPO_ROOT / "src" / "repro"
+    for directory in [src, *src.rglob("*/")]:
+        directory = Path(directory)
+        if directory.name == "__pycache__":
+            continue
+        sources = [
+            p for p in directory.glob("*.py") if p.name != "__init__.py"
+        ]
+        has_init = (directory / "__init__.py").exists()
+        subpackages = [
+            d for d in directory.iterdir()
+            if d.is_dir() and d.name != "__pycache__"
+        ]
+        assert has_init, f"{directory} lacks __init__.py"
+        assert sources or subpackages, (
+            f"{directory} has no Python sources — orphaned package?"
+        )
+
+
+def test_gitignore_covers_bytecode():
+    gitignore = (REPO_ROOT / ".gitignore").read_text()
+    assert "__pycache__" in gitignore

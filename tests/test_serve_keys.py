@@ -1,0 +1,155 @@
+"""Cache-key stability: the digests behind the job server's caches.
+
+The result cache is sound only if the key is invariant to every
+*representational* difference (gate insertion order, BENCH line order,
+round-tripping) and sensitive to every *semantic* one (gate types,
+delays, outputs, fanin order, machine knobs, seeds).  These tests pin
+both directions.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.bench_parser import parse_bench, write_bench
+from repro.circuit.gate import GateType
+from repro.circuit.graph import CircuitGraph
+from repro.circuit.netlists import S27_BENCH, load_s27
+from repro.serve.keys import (
+    circuit_fingerprint,
+    machine_fingerprint,
+    partition_key,
+    result_key,
+    stimulus_fingerprint,
+)
+from repro.warped.machine import VirtualMachine
+
+
+def _pair_circuit(order: str, *, delay: int = 1, out: str = "C") -> CircuitGraph:
+    """Tiny circuit built with controllable gate insertion order."""
+    circuit = CircuitGraph("pair")
+    if order == "forward":
+        circuit.add_gate("A", GateType.INPUT)
+        circuit.add_gate("B", GateType.INPUT)
+        circuit.add_gate("C", GateType.NAND, delay=delay)
+        circuit.add_gate("D", GateType.DFF)
+    else:
+        circuit.add_gate("D", GateType.DFF)
+        circuit.add_gate("C", GateType.NAND, delay=delay)
+        circuit.add_gate("B", GateType.INPUT)
+        circuit.add_gate("A", GateType.INPUT)
+    c, d = circuit.index_of("C"), circuit.index_of("D")
+    circuit.connect(circuit.index_of("A"), c)
+    circuit.connect(circuit.index_of("B"), c)
+    circuit.connect(c, d)
+    circuit.mark_output(circuit.index_of(out))
+    return circuit.freeze()
+
+
+def test_same_netlist_parsed_twice_hashes_identically():
+    assert circuit_fingerprint(parse_bench(S27_BENCH)) == circuit_fingerprint(
+        parse_bench(S27_BENCH)
+    )
+
+
+def test_fingerprint_invariant_to_gate_insertion_order():
+    assert circuit_fingerprint(_pair_circuit("forward")) == circuit_fingerprint(
+        _pair_circuit("reversed")
+    )
+
+
+def test_fingerprint_invariant_to_bench_line_order():
+    lines = [
+        line for line in S27_BENCH.splitlines() if line.split("#")[0].strip()
+    ]
+    shuffled = "\n".join(
+        sorted(lines, key=lambda line: line[::-1], reverse=True)
+    )
+    assert circuit_fingerprint(parse_bench(shuffled)) == circuit_fingerprint(
+        load_s27()
+    )
+
+
+def test_fingerprint_survives_bench_round_trip():
+    circuit = load_s27()
+    round_tripped = parse_bench(write_bench(circuit))
+    assert circuit_fingerprint(round_tripped) == circuit_fingerprint(circuit)
+
+
+def test_fingerprint_sensitive_to_semantics():
+    base = circuit_fingerprint(_pair_circuit("forward"))
+    assert circuit_fingerprint(_pair_circuit("forward", delay=3)) != base
+    assert circuit_fingerprint(_pair_circuit("forward", out="D")) != base
+
+
+def test_fingerprint_sensitive_to_fanin_order():
+    def build(swapped: bool) -> CircuitGraph:
+        circuit = CircuitGraph("fanin")
+        circuit.add_gate("A", GateType.INPUT)
+        circuit.add_gate("B", GateType.INPUT)
+        circuit.add_gate("C", GateType.AND)
+        c = circuit.index_of("C")
+        first, second = ("B", "A") if swapped else ("A", "B")
+        circuit.connect(circuit.index_of(first), c)
+        circuit.connect(circuit.index_of(second), c)
+        circuit.mark_output(c)
+        return circuit.freeze()
+
+    # AND is symmetric, but the digest must not assume gate symmetry:
+    # fanin position is semantic in general.
+    assert circuit_fingerprint(build(False)) != circuit_fingerprint(build(True))
+
+
+def test_machine_fingerprint_round_trips_config():
+    a = VirtualMachine(num_nodes=4, gvt_interval=256, optimism_window=50)
+    b = VirtualMachine(num_nodes=4, gvt_interval=256, optimism_window=50)
+    assert machine_fingerprint(a) == machine_fingerprint(b)
+    for other in (
+        VirtualMachine(num_nodes=2, gvt_interval=256, optimism_window=50),
+        VirtualMachine(num_nodes=4, gvt_interval=128, optimism_window=50),
+        VirtualMachine(num_nodes=4, gvt_interval=256, optimism_window=None),
+        VirtualMachine(
+            num_nodes=4, gvt_interval=256, optimism_window=50,
+            migration_threshold=1.5,
+        ),
+    ):
+        assert machine_fingerprint(other) != machine_fingerprint(a)
+
+
+def test_result_key_sensitive_to_every_axis():
+    digest = circuit_fingerprint(load_s27())
+    machine = machine_fingerprint(VirtualMachine(num_nodes=2))
+    stimulus = stimulus_fingerprint(40, 100, 0.5, 7)
+    base = result_key(digest, "Multilevel", 3, 2, machine, stimulus, 10**6)
+    variants = [
+        result_key("0" * 64, "Multilevel", 3, 2, machine, stimulus, 10**6),
+        result_key(digest, "Random", 3, 2, machine, stimulus, 10**6),
+        result_key(digest, "Multilevel", 4, 2, machine, stimulus, 10**6),
+        result_key(digest, "Multilevel", 3, 4, machine, stimulus, 10**6),
+        result_key(
+            digest, "Multilevel", 3, 2,
+            machine_fingerprint(VirtualMachine(num_nodes=2, gvt_interval=64)),
+            stimulus, 10**6,
+        ),
+        result_key(
+            digest, "Multilevel", 3, 2, machine,
+            stimulus_fingerprint(41, 100, 0.5, 7), 10**6,
+        ),
+        result_key(
+            digest, "Multilevel", 3, 2, machine,
+            stimulus_fingerprint(40, 100, 0.5, 8), 10**6,
+        ),
+        result_key(digest, "Multilevel", 3, 2, machine, stimulus, 10**6 + 1),
+    ]
+    assert len({base, *variants}) == len(variants) + 1
+
+
+def test_partition_key_stability():
+    digest = circuit_fingerprint(load_s27())
+    assert partition_key(digest, "Multilevel", 3, 2) == partition_key(
+        digest, "Multilevel", 3, 2
+    )
+    assert partition_key(digest, "Multilevel", 3, 2) != partition_key(
+        digest, "Multilevel", 3, 4
+    )
+    assert partition_key(digest, "Multilevel", 3, 2) != partition_key(
+        digest, "Multilevel", 5, 2
+    )

@@ -1,0 +1,154 @@
+"""Warm worker rings: reuse, equivalence with the cold path, poisoning.
+
+The load-bearing property is bit-identical committed output: a warm
+ring re-running a job on recycled processes must produce exactly what
+a cold :class:`ProcessTimeWarpSimulator` spawn produces — same final
+values, same capture history, same committed event count.  Everything
+the job server layers on top (caching, pooling) assumes it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.netlists import load_s27
+from repro.errors import ConfigError, SimulationError
+from repro.partition.registry import get_partitioner
+from repro.sim.kernel import SequentialSimulator
+from repro.sim.stimulus import RandomStimulus
+from repro.warped.machine import VirtualMachine
+from repro.warped.parallel.backend import ProcessTimeWarpSimulator
+from repro.warped.parallel.ring import WorkerRing
+
+TRANSPORTS = ("queue", "shm")
+
+
+@pytest.fixture(scope="module")
+def world():
+    circuit = load_s27()
+    stimulus = RandomStimulus(
+        circuit, num_cycles=12, period=100, seed=7, activity=0.5
+    )
+    assignment = get_partitioner("Multilevel", seed=3).partition(circuit, 2)
+    machine = VirtualMachine(
+        num_nodes=2, gvt_interval=128, optimism_window=100
+    )
+    sequential = SequentialSimulator(circuit, stimulus).run()
+    return circuit, assignment, stimulus, machine, sequential
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_warm_ring_matches_cold_and_sequential(world, transport):
+    circuit, assignment, stimulus, machine, sequential = world
+    cold = ProcessTimeWarpSimulator(
+        circuit, assignment, stimulus, machine,
+        timeout=60, transport=transport,
+    ).run()
+    with WorkerRing(2, transport=transport) as ring:
+        pids = dict(ring.worker_pids)
+        first = ring.run_job(circuit, assignment, stimulus, machine, timeout=60)
+        second = ring.run_job(circuit, assignment, stimulus, machine, timeout=60)
+        # Reuse, not respawn: same OS processes served both jobs.
+        assert ring.worker_pids == pids
+        assert ring.jobs_run == 2
+    for result in (first, second):
+        assert result.final_values == sequential.final_values
+        assert result.committed_captures == sequential.committed_captures
+        assert result.events_committed == cold.events_committed
+        assert result.backend == "process"
+        assert result.transport == transport
+
+
+def test_many_repeat_jobs_on_shm(world):
+    """Regression: the job-arming race.
+
+    Job specs arrive over per-node queues, so one node used to start
+    simulating — and sending — while a peer was still waiting for its
+    own spec; the peer's arming drain then discarded live messages and
+    the GVT ring could never balance (livelock).  The shm transport
+    hit this on most runs.  Ten back-to-back jobs on one ring flush
+    the race out if the arming barrier ever regresses.
+    """
+    circuit, assignment, stimulus, machine, sequential = world
+    with WorkerRing(2, transport="shm") as ring:
+        for _ in range(10):
+            result = ring.run_job(
+                circuit, assignment, stimulus, machine, timeout=30
+            )
+            assert result.final_values == sequential.final_values
+
+
+def test_single_node_ring(world):
+    circuit, _, stimulus, _, sequential = world
+    assignment = get_partitioner("Multilevel", seed=3).partition(circuit, 1)
+    machine = VirtualMachine(num_nodes=1, gvt_interval=128)
+    with WorkerRing(1) as ring:
+        result = ring.run_job(circuit, assignment, stimulus, machine, timeout=30)
+    assert result.final_values == sequential.final_values
+
+
+def test_ring_validates_job(world):
+    circuit, assignment, stimulus, machine, _ = world
+    with WorkerRing(2) as ring:
+        with pytest.raises(SimulationError, match="this ring"):
+            ring.run_job(
+                circuit,
+                get_partitioner("Multilevel", seed=3).partition(circuit, 4),
+                stimulus,
+                VirtualMachine(num_nodes=4),
+                timeout=30,
+            )
+        with pytest.raises(ConfigError, match="checkpoint"):
+            ring.run_job(
+                circuit, assignment, stimulus,
+                VirtualMachine(
+                    num_nodes=2, checkpoint_interval=50, gvt_interval=128
+                ),
+                timeout=30,
+            )
+        with pytest.raises(ConfigError, match="aggressive"):
+            ring.run_job(
+                circuit, assignment, stimulus,
+                VirtualMachine(num_nodes=2, cancellation="lazy"),
+                timeout=30,
+            )
+        # Validation failures must not poison the ring.
+        assert ring.alive
+        result = ring.run_job(circuit, assignment, stimulus, machine, timeout=30)
+        assert result.num_nodes == 2
+
+
+def test_timeout_poisons_ring(world):
+    circuit, assignment, stimulus, machine, _ = world
+    ring = WorkerRing(2).start()
+    try:
+        with pytest.raises(SimulationError, match="timed out"):
+            ring.run_job(
+                circuit, assignment, stimulus, machine, timeout=0.0001
+            )
+        assert not ring.alive
+        with pytest.raises(SimulationError, match="dead"):
+            ring.run_job(circuit, assignment, stimulus, machine, timeout=30)
+    finally:
+        ring.close()
+
+
+def test_kill_tears_ring_down(world):
+    circuit, assignment, stimulus, machine, _ = world
+    ring = WorkerRing(2).start()
+    try:
+        assert ring.alive
+        ring.kill()
+        assert not ring.alive
+        with pytest.raises(SimulationError, match="dead"):
+            ring.run_job(circuit, assignment, stimulus, machine, timeout=30)
+    finally:
+        ring.close()
+
+
+def test_close_is_idempotent_and_joins_workers(world):
+    ring = WorkerRing(2).start()
+    workers = list(ring._workers)
+    ring.close()
+    ring.close()
+    assert all(not w.is_alive() for w in workers)

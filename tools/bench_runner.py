@@ -90,20 +90,42 @@ def compare_runs(
     return failures
 
 
+def workload_modules() -> list:
+    """Benchmark modules contributing workloads, in listing order.
+
+    Each exposes ``WORKLOADS`` (name -> workload with an ``engines``
+    tuple) and ``run_workload(workload, repeats=...)`` returning the
+    per-engine measurement records.
+    """
+    import bench_hotpath
+    import bench_serve
+
+    return [bench_hotpath, bench_serve]
+
+
+def all_workloads() -> dict:
+    """name -> (module, workload) across every benchmark module."""
+    table = {}
+    for module in workload_modules():
+        for name, workload in module.WORKLOADS.items():
+            if name in table:
+                raise SystemExit(f"duplicate workload name {name!r}")
+            table[name] = (module, workload)
+    return table
+
+
 def measure(names: list[str], repeats: int) -> dict:
     """Run the named workloads; returns a trajectory-entry payload."""
-    import bench_hotpath
-
+    table = all_workloads()
     workloads = {}
     for name in names:
-        workload = bench_hotpath.WORKLOADS.get(name)
-        if workload is None:
+        if name not in table:
             raise SystemExit(
-                f"unknown workload {name!r}; available: "
-                f"{sorted(bench_hotpath.WORKLOADS)}"
+                f"unknown workload {name!r}; available: {sorted(table)}"
             )
+        module, workload = table[name]
         t0 = time.perf_counter()
-        workloads[name] = bench_hotpath.run_workload(workload, repeats=repeats)
+        workloads[name] = module.run_workload(workload, repeats=repeats)
         print(
             f"  {name}: {time.perf_counter() - t0:.1f}s wall "
             f"({repeats} repeats x {len(workload.engines)} engines)",
@@ -177,17 +199,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    import bench_hotpath
+    table = all_workloads()
 
     if args.list:
-        for name, workload in sorted(bench_hotpath.WORKLOADS.items()):
+        for name, (_, workload) in sorted(table.items()):
             print(
                 f"{name:18s} {workload.circuit}@{workload.scale} "
                 f"k={workload.k} engines={','.join(workload.engines)}"
             )
         return 0
 
-    names = args.workloads or sorted(bench_hotpath.WORKLOADS)
+    names = args.workloads or sorted(table)
     entry = measure(names, args.repeats)
     print(render(entry))
 

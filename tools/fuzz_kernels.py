@@ -74,6 +74,13 @@ def random_case(rng, names, *, process: bool) -> dict:
         case["stimulus"]["num_cycles"] = int(rng.integers(4, 12))
         case["k"] = int(rng.integers(2, 5))
         case["engines"] = ["process", "process-shm"]
+        # Half the process cases also run on a warm worker ring (the
+        # job server's execution path), holding warm-pool results to
+        # the cold engines' exact committed output.
+        if rng.random() < 0.5:
+            case["engines"].append(
+                "served-shm" if rng.random() < 0.5 else "served"
+            )
     else:
         case["machine"].update(
             cancellation="lazy" if rng.random() < 0.4 else "aggressive",

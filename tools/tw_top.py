@@ -30,7 +30,15 @@ _STALE_AFTER = 2.0
 
 
 def read_snapshots(base: str) -> dict[int, dict]:
-    """Parse every ``<base>.node<i>`` snapshot currently on disk."""
+    """Parse the ``<base>.node<i>`` snapshots of the *newest* run.
+
+    Every snapshot carries the run id of the simulation that wrote it.
+    When a status base is reused, files from different runs can coexist
+    for a moment (a new run clears stale files at start, but a node of
+    the old run may still be flushing its last snapshot) — so group by
+    run id and keep only the run whose snapshots are freshest.  Nodes
+    of a dead earlier run therefore never haunt the dashboard.
+    """
     snapshots: dict[int, dict] = {}
     for path in glob.glob(f"{base}.node*"):
         match = _NODE_RE.search(path)
@@ -41,6 +49,17 @@ def read_snapshots(base: str) -> dict[int, dict]:
                 snapshots[int(match.group(1))] = json.loads(fh.read())
         except (OSError, ValueError):
             continue  # mid-replace or partial file: skip this frame
+    runs: dict[str, float] = {}
+    for snap in snapshots.values():
+        run = snap.get("run", "")
+        runs[run] = max(runs.get(run, 0.0), snap.get("ts", 0.0))
+    if len(runs) > 1:
+        newest = max(runs, key=lambda run: runs[run])
+        snapshots = {
+            node: snap
+            for node, snap in snapshots.items()
+            if snap.get("run", "") == newest
+        }
     return snapshots
 
 
